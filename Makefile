@@ -1,0 +1,33 @@
+# Music-Defined Networking reproduction — convenience targets.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples figures render-all clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null && echo OK || exit 1; \
+	done
+
+render-all:
+	@mkdir -p renders
+	@for scene in knock chirps fan song; do \
+		$(PYTHON) -m repro render $$scene renders/$$scene.wav; \
+	done
+
+clean:
+	rm -rf renders .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,31 @@
+"""Shared reporting helpers for the figure-regeneration benchmarks.
+
+Each benchmark runs one experiment (via ``benchmark.pedantic`` so the
+whole suite works under ``pytest --benchmark-only``), prints the
+series/rows the corresponding paper figure reports, and asserts the
+*shape* documented in DESIGN.md/EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+def report(title: str, rows: list[tuple]) -> None:
+    """Print a labelled table that survives pytest's capture with -s."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print("  " + " | ".join(str(cell) for cell in row))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark fixture.
+
+    Experiments are multi-second simulations; timing them once is
+    enough and keeps the suite fast.
+    """
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

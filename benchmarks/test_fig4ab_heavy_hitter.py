@@ -1,0 +1,75 @@
+"""FIG4A/B — acoustic heavy-hitter detection (Figure 4a clean, 4b with
+Sia's *Cheap Thrills* as background noise — here the SongNoise
+substitute, see DESIGN.md).
+
+Shape to hold: the heavy flow's bucket rings above the per-interval
+threshold in both conditions; mouse buckets never do.
+"""
+
+from conftest import report
+
+from repro.experiments import heavy_hitter_experiment
+
+
+def _report(result, title):
+    rows = [("interval end (s)", "heavy-bucket count")]
+    for time, count in zip(result.per_interval_heavy_counts.times,
+                           result.per_interval_heavy_counts.values):
+        rows.append((f"{time:.0f}", int(count)))
+    rows.append(("heavy flow", str(result.heavy_flow)))
+    rows.append(("bucket frequency", f"{result.heavy_frequency:.0f} Hz"))
+    rows.append(("detected", result.heavy_detected))
+    rows.append(("false-positive buckets",
+                 sorted(result.false_positive_frequencies)))
+    report(title, rows)
+
+
+def test_fig4a_clean(run_once):
+    result = run_once(heavy_hitter_experiment, with_song=False)
+    _report(result, "Fig 4a: heavy hitter, no background noise")
+    assert result.heavy_detected
+    assert not result.false_positive_frequencies
+    # Detection latency: flagged within the first two intervals.
+    assert result.alerts[0].interval_start <= 2.0
+
+
+def test_fig4b_with_song(run_once):
+    result = run_once(heavy_hitter_experiment, with_song=True)
+    _report(result, "Fig 4b: heavy hitter, pop song playing")
+    assert result.heavy_detected
+    assert not result.false_positive_frequencies
+
+
+def test_fig4ab_multiple_heavies(run_once):
+    """Beyond the paper: two simultaneous heavy flows, both flagged."""
+    from repro.experiments.fig4 import LINK_CAPACITY_PPS
+    from repro.experiments.rigs import build_testbed
+    from repro.core.apps import (
+        FlowToneMapper, HeavyHitterDetectorApp, HeavyHitterEmitter,
+    )
+    from repro.net import FlowMixWorkload
+
+    def run():
+        testbed = build_testbed("single")
+        mapper = FlowToneMapper(testbed.plan.allocate("s1", 16))
+        HeavyHitterEmitter(testbed.topo.switches["s1"],
+                           testbed.agents["s1"], mapper)
+        app = HeavyHitterDetectorApp(testbed.controller, mapper)
+        testbed.controller.start()
+        mix = FlowMixWorkload(
+            testbed.topo.hosts["h1"], testbed.topo.hosts["h2"].ip,
+            link_capacity_pps=LINK_CAPACITY_PPS, num_flows=10, num_heavy=2,
+            heavy_fraction=0.25, seed=5,
+        )
+        mix.launch()
+        testbed.sim.run(8.0)
+        return mix, mapper, app
+
+    mix, mapper, app = run_once(run)
+    flagged = app.heavy_frequencies()
+    expected = {mapper.frequency_of(flow) for flow in mix.heavy_flows}
+    report("Fig 4a/b extension: two heavy flows", [
+        ("expected buckets", sorted(expected)),
+        ("flagged buckets", sorted(flagged)),
+    ])
+    assert expected <= flagged

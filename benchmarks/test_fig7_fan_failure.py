@@ -1,0 +1,76 @@
+"""FIG7 — amplitude-difference fan failure detection.
+
+Paper: "The difference in amplitude for certain frequencies is
+considerably larger when comparing two audio signals of the fan on and
+off (blue continuous line in Figure 7) than when comparing two samples
+of a functioning fan (red dashed line)."  Shape to hold: the on↔off
+score exceeds the on↔on score by a wide margin in both rooms, the
+threshold separates them, and the alert fires shortly after the
+failure (bounded by the spin-down transient).
+"""
+
+from conftest import report
+
+from repro.experiments import fan_failure_experiment
+
+
+def _rows(result):
+    return [
+        ("room", result.room),
+        ("failure injected", f"{result.failure_time:.1f} s"),
+        ("detected at", f"{result.detection_time:.1f} s"
+         if result.detection_time else "never"),
+        ("on-on max score", f"{result.on_on_max_score:.1f}"),
+        ("on-off min score", f"{result.on_off_min_score:.1f}"),
+        ("separation ratio", f"{result.separation_ratio:.1f}x"),
+        ("threshold", f"{result.threshold:.1f}"),
+    ]
+
+
+def test_fig7a_datacenter(run_once):
+    result = run_once(fan_failure_experiment, room="datacenter")
+    report("Fig 7a: datacenter failure detection", _rows(result))
+    assert result.detected
+    assert result.separation_ratio > 2.0
+    assert result.detection_time - result.failure_time < 3.0
+
+
+def test_fig7b_office(run_once):
+    result = run_once(fan_failure_experiment, room="office")
+    report("Fig 7b: office failure detection", _rows(result))
+    assert result.detected
+    assert result.separation_ratio > 5.0
+    assert result.detection_time - result.failure_time < 3.0
+
+
+def test_fig7_score_timeline(run_once):
+    """The full Figure 7 curve: scores flat before the failure, then a
+    sustained jump (not a single spike)."""
+    result = run_once(fan_failure_experiment, room="office", duration=16.0,
+                      failure_time=8.0)
+    rows = [("t (s)", "score")]
+    for time, score in zip(result.scores.times, result.scores.values):
+        rows.append((f"{time:.1f}", f"{score:.1f}"))
+    report("Fig 7: amplitude-difference score over time", rows)
+    post_failure = result.scores.window(result.failure_time + 2.5, 16.0)
+    assert all(score > result.threshold for score in post_failure.values)
+
+
+def test_fig7_no_false_alarm_on_healthy_server(run_once):
+    """A healthy run never alerts in either room."""
+    from repro.core.apps import FanWatchdog
+    from repro.fans import datacenter_scene, office_scene
+
+    def run():
+        alarms = {}
+        for name, scene_fn in (("datacenter", datacenter_scene),
+                               ("office", office_scene)):
+            scene = scene_fn(duration=12.0)
+            watchdog = FanWatchdog(scene.channel, scene.microphone)
+            watchdog.run(0.0, 12.0)
+            alarms[name] = len(watchdog.alerts)
+        return alarms
+
+    alarms = run_once(run)
+    report("Fig 7 control: healthy server", list(alarms.items()))
+    assert alarms == {"datacenter": 0, "office": 0}

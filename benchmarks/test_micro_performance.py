@@ -1,0 +1,125 @@
+"""Microbenchmarks of the hot primitives (true pytest-benchmark runs).
+
+These are performance-regression guards for the code the experiments
+hammer: channel rendering, detection, mel analysis, the event loop,
+flow-table lookup and sketch updates.  Unlike the figure benches (one
+round each), these run many rounds for stable statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.audio import (
+    AcousticChannel,
+    FrequencyDetector,
+    Microphone,
+    Position,
+    SpectrumAnalyzer,
+    ToneSpec,
+    mel_spectrogram,
+    sine_tone,
+    white_noise,
+)
+from repro.baselines import CountMinSketch
+from repro.core import FrequencyPlan
+from repro.net import (
+    Action,
+    FlowKey,
+    FlowTable,
+    Match,
+    Packet,
+    Protocol,
+    Simulator,
+)
+
+
+@pytest.fixture(scope="module")
+def busy_channel():
+    """Ten concurrent tones plus a noise bed: a loud testbed moment."""
+    channel = AcousticChannel()
+    for index in range(10):
+        channel.play_tone(
+            0.0, ToneSpec(500.0 + 40.0 * index, 0.5, 68.0),
+            Position(0.5 + 0.1 * index, 0.0, 0.0),
+        )
+    channel.add_noise(
+        white_noise(1.0, 50.0, rng=np.random.default_rng(1)), Position()
+    )
+    return channel
+
+
+def test_perf_channel_render(benchmark, busy_channel):
+    """Render one 100 ms capture of a 10-tone + noise mixture."""
+    microphone = Microphone(Position(), seed=1)
+    window = benchmark(microphone.record, busy_channel, 0.1, 0.2)
+    assert len(window) == 1600
+
+
+def test_perf_detector_fft(benchmark, busy_channel):
+    plan = FrequencyPlan(low_hz=500.0, guard_hz=40.0)
+    watched = list(plan.allocate("all", 10).frequencies)
+    detector = FrequencyDetector(watched)
+    window = Microphone(Position(), seed=1).record(busy_channel, 0.1, 0.2)
+    events = benchmark(detector.detect, window)
+    assert len(events) == 10
+
+
+def test_perf_detector_goertzel(benchmark, busy_channel):
+    plan = FrequencyPlan(low_hz=500.0, guard_hz=40.0)
+    watched = list(plan.allocate("all", 10).frequencies)
+    detector = FrequencyDetector(watched, backend="goertzel")
+    window = Microphone(Position(), seed=1).record(busy_channel, 0.1, 0.2)
+    events = benchmark(detector.detect, window)
+    assert len(events) >= 8
+
+
+def test_perf_mel_spectrogram(benchmark):
+    """One second of audio into a 64-band mel spectrogram."""
+    signal = sine_tone(1000.0, 1.0, 65.0)
+    times, centers, mags = benchmark(mel_spectrogram, signal)
+    assert mags.shape[0] == 20
+
+
+def test_perf_spectrum_analyze(benchmark):
+    analyzer = SpectrumAnalyzer()
+    window = sine_tone(1000.0, 0.05, 65.0)
+    spectrum = benchmark(analyzer.analyze, window)
+    assert spectrum.level_at(1000.0) > 55.0
+
+
+def test_perf_simulator_event_throughput(benchmark):
+    """Schedule-and-run 10k chained events."""
+    def run() -> int:
+        sim = Simulator()
+        count = [0]
+
+        def tick() -> None:
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(0.0001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run(10.0)
+        return count[0]
+
+    executed = benchmark(run)
+    assert executed == 10_000
+
+
+def test_perf_flow_table_lookup(benchmark):
+    """Lookup against a 100-entry table (worst case: match at the end)."""
+    table = FlowTable()
+    for index in range(99):
+        table.install(Match(dst_port=20_000 + index), Action.drop(),
+                      priority=50)
+    table.install(Match(), Action.forward(1), priority=0)
+    packet = Packet(FlowKey("10.0.0.1", "10.0.0.2", 1, 80, Protocol.TCP))
+    entry = benchmark(table.lookup, packet, 1)
+    assert entry.action.out_ports == (1,)
+
+
+def test_perf_countmin_update(benchmark):
+    sketch = CountMinSketch(width=64, depth=4)
+    flow = FlowKey("10.0.0.1", "10.0.0.2", 1234, 80)
+    benchmark(sketch.update, flow)
+    assert sketch.estimate(flow) >= 1

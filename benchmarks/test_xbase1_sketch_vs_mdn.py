@@ -1,0 +1,37 @@
+"""XBASE1 — count-min sketch vs MDN tone counting (§5 comparator).
+
+The paper positions Music-Defined Telemetry against "sampling or
+sketching techniques".  Shape to hold: both detectors agree on the
+heavy flow over the same workload, and neither flags mice.
+"""
+
+from conftest import report
+
+from repro.experiments import sketch_vs_mdn
+
+
+def test_xbase1_agreement(run_once):
+    result = run_once(sketch_vs_mdn)
+    report("XBASE1: sketch vs MDN heavy-hitter agreement", [
+        ("heavy flow", str(result.heavy_flow)),
+        ("MDN detected", result.mdn_detected),
+        ("sketch detected", result.sketch_detected),
+        ("MDN false positives", result.mdn_false_positive_buckets),
+        ("sketch false positives", result.sketch_false_positive_flows),
+    ])
+    assert result.agree_on_heavy
+    assert result.mdn_false_positive_buckets == 0
+    assert result.sketch_false_positive_flows == 0
+
+
+def test_xbase1_agreement_across_seeds(run_once):
+    """Same conclusion across several workload seeds."""
+    def sweep():
+        return [sketch_vs_mdn(seed=seed) for seed in (3, 11, 29)]
+
+    results = run_once(sweep)
+    rows = [("seed run", "MDN", "sketch")]
+    for index, result in enumerate(results):
+        rows.append((index, result.mdn_detected, result.sketch_detected))
+    report("XBASE1: agreement across seeds", rows)
+    assert all(result.agree_on_heavy for result in results)

@@ -1,0 +1,89 @@
+"""XEXT6 — closing the §6 congestion loop in-network.
+
+"[Queue chirps] can be used to drive in-network flow or congestion
+control decisions, without waiting for source reactions" — here the
+controller hears the congestion tone and installs a token-bucket meter
+at the switch; when the air reports sustained calm, the meter is
+removed.  Also measures the acoustic message service (§2/§8 management
+messaging) delivery.
+"""
+
+from conftest import report
+
+from repro.core.apps import (
+    BandToneMap,
+    QueueChirper,
+    RateControlApp,
+    RateControlPolicy,
+)
+from repro.experiments.rigs import build_testbed
+from repro.net import ConstantRateSource, Match
+
+
+def run_rate_control(offered_pps=450.0, stop=6.0, horizon=16.0):
+    testbed = build_testbed("single")
+    switch = testbed.topo.switches["s1"]
+    port = testbed.topo.port_towards("s1", "h2")
+    tones = BandToneMap.from_frequencies(
+        testbed.plan.allocate("s1", 3).frequencies
+    )
+    chirper = QueueChirper(testbed.sim, switch, port, testbed.agents["s1"],
+                           tones)
+    app = RateControlApp(
+        testbed.controller, tones,
+        RateControlPolicy("s1", Match(dst_ip="10.0.0.2"), port,
+                          limit_pps=150.0),
+    )
+    testbed.controller.start()
+    source = ConstantRateSource(testbed.topo.hosts["h1"], "10.0.0.2", 80,
+                                rate_pps=offered_pps, stop=stop)
+    source.launch()
+    testbed.sim.run(horizon)
+    return testbed, switch, chirper, app
+
+
+def test_xext6_loop_bounds_the_queue(run_once):
+    testbed, switch, chirper, app = run_once(run_rate_control)
+    # While the meter is in place the queue drains; after the naive
+    # release rule lets go under sustained load, it rebuilds and the
+    # loop re-meters (oscillation — see the rate-control app tests).
+    # Measure the drain over the first metered span.
+    metered_until = (app.released_at[0] if app.released_at
+                     else chirper.queue_series.times[-1])
+    peak_after_meter = chirper.queue_series.window(
+        app.installed_at[0] + 1.0, metered_until
+    ).max()
+    report("XEXT6: acoustic in-network rate control (450 pps into "
+           "250 pps egress, limit 150 pps)", [
+        ("meter installed at", f"{app.installed_at[0]:.1f} s"),
+        ("meter released at",
+         f"{app.released_at[0]:.1f} s" if app.released_at else "never"),
+        ("queue peak before meter",
+         int(chirper.queue_series.window(0.0, app.installed_at[0] + 0.31).max())),
+        ("queue peak 1 s after meter", int(peak_after_meter)),
+        ("packets policed", int(switch.packets_policed.total)),
+        ("final queue", int(chirper.queue_series.final())),
+    ])
+    assert app.installed_at
+    assert switch.packets_policed.total > 0
+    assert peak_after_meter <= 75     # out of the congested band
+    assert chirper.queue_series.final() == 0
+    assert not app.metered            # released after the load stopped
+
+
+def test_xext6_reaction_time(run_once):
+    """Install latency: one chirp period + listen window + control
+    latency after the queue first crosses the high threshold."""
+    _testbed, _switch, chirper, app = run_once(run_rate_control)
+    crossing = next(
+        time for time, length in zip(chirper.queue_series.times,
+                                     chirper.queue_series.values)
+        if length > 75
+    )
+    latency = app.installed_at[0] - crossing
+    report("XEXT6: meter install latency", [
+        ("queue crossed 75 pkts", f"{crossing:.2f} s"),
+        ("meter installed", f"{app.installed_at[0]:.2f} s"),
+        ("latency", f"{latency:.3f} s"),
+    ])
+    assert latency < 0.5

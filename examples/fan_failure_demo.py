@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Server fan failure detection (paper Section 7, Figures 6–7).
+
+A microphone sits 30 cm from a server in a loud datacenter aisle (and,
+for contrast, 50 cm from the same server in a quiet office).  A
+watchdog learns the healthy FFT amplitude profile, then scores every
+new sample's amplitude difference against it.  When the fan bank loses
+power mid-run, the blade-pass harmonics vanish and the score jumps
+across the threshold — the out-of-band failure alert fires seconds
+later, with no packet ever sent.
+
+Run:  python examples/fan_failure_demo.py
+"""
+
+from repro.experiments import fan_failure_experiment, fan_spectrogram_panel
+
+
+def spectrogram_summary() -> None:
+    print("=" * 64)
+    print("Figure 6: is the fan audible over the room? (blade-pass line)")
+    print("=" * 64)
+    print(f"  {'room':>10}  {'fan':>4}  {'line dB':>8}  {'floor dB':>9}  "
+          f"{'prominence':>10}")
+    for room in ("datacenter", "office"):
+        for fan_on in (True, False):
+            panel = fan_spectrogram_panel(room, fan_on)
+            print(f"  {room:>10}  {'ON' if fan_on else 'OFF':>4}  "
+                  f"{panel.blade_line_level_db:>8.1f}  "
+                  f"{panel.noise_floor_db:>9.1f}  "
+                  f"{panel.line_prominence_db:>9.1f} dB")
+
+
+def failure_detection() -> None:
+    print()
+    print("=" * 64)
+    print("Figure 7: amplitude-difference failure detection")
+    print("=" * 64)
+    for room in ("datacenter", "office"):
+        result = fan_failure_experiment(room=room)
+        print(f"\n[{room}]  fan bank loses power at "
+              f"t = {result.failure_time:.0f} s")
+        print(f"  {'t (s)':>6}  {'score':>8}")
+        for time, score in zip(result.scores.times, result.scores.values):
+            flag = ""
+            if result.detection_time and abs(time - result.detection_time) < 0.01:
+                flag = "  <- ALERT (threshold "
+                flag += f"{result.threshold:.1f})"
+            print(f"  {time:>6.1f}  {score:>8.1f}{flag}")
+        print(f"  on-on max {result.on_on_max_score:.1f}  vs  "
+              f"on-off min {result.on_off_min_score:.1f}  "
+              f"(separation {result.separation_ratio:.1f}x)")
+        assert result.detected
+
+
+def find_the_beeper() -> None:
+    """The §7 footnote, closed out: 'we heard a misconfigured server
+    beeping for weeks' — the microphone array walks straight to it."""
+    from repro.audio import AcousticChannel, Microphone, Position, Speaker, ToneSpec
+    from repro.core import TdoaLocalizer
+    from repro.fans import Server
+
+    print()
+    print("=" * 64)
+    print("Bonus: which rack is beeping? (TDOA localization)")
+    print("=" * 64)
+    channel = AcousticChannel()
+    neighbour = Server("healthy-but-loud")
+    neighbour.position = Position(2.0, 8.0, 0.0)
+    neighbour.attach_to_channel(channel, 3.0)
+    culprit = Position(9.0, 2.0, 0.0)
+    Speaker(culprit).play(channel, 1.0, ToneSpec(4000, 0.4, 75.0))
+
+    stations = {
+        "nw": Microphone(Position(0.0, 10.0, 0.0), seed=2),
+        "ne": Microphone(Position(12.0, 10.0, 0.0), seed=3),
+        "s": Microphone(Position(6.0, -2.0, 0.0), seed=4),
+        "w": Microphone(Position(-2.0, 0.0, 0.0), seed=5),
+    }
+    result = TdoaLocalizer(stations).locate(channel, 1.0, 1.5,
+                                            band=(3700.0, 4300.0))
+    print(f"\n  a 4 kHz beep rang out somewhere in the 12 x 12 m room...")
+    print(f"  true rack:  ({culprit.x:.0f}, {culprit.y:.0f})")
+    print(f"  estimated:  ({result.position.x:.1f}, {result.position.y:.1f})"
+          f"  (error {result.position.distance_to(culprit):.2f} m)")
+    if result.excluded:
+        print(f"  stations gated out (drowned by a loud neighbour): "
+              f"{', '.join(result.excluded)}")
+    assert result.position.distance_to(culprit) < 1.5
+
+
+def main() -> None:
+    spectrogram_summary()
+    failure_detection()
+    find_the_beeper()
+    print("\nfailures detected in both rooms, no false alarms, "
+          "and the beeper was found.")
+
+
+if __name__ == "__main__":
+    main()

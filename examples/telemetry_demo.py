@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Music-Defined Telemetry (paper Section 5, Figure 4).
+
+Two detectors built from the same primitive — per-interval tone counts:
+
+1. **Heavy hitter**: every forwarded packet's 5-tuple hashes to a
+   frequency bucket; a bucket ringing in more windows than the
+   threshold per interval is an elephant flow.
+2. **Port scan**: destination ports map linearly onto frequencies, so a
+   scan sweeps the band upward; many *distinct* tones per interval
+   raise the alarm.
+
+Both runs are repeated with a pop-song interferer (the paper used Sia's
+*Cheap Thrills*; we generate an equivalent melody).
+
+Run:  python examples/telemetry_demo.py
+"""
+
+from repro.experiments import heavy_hitter_experiment, port_scan_experiment
+
+
+def heavy_hitters() -> None:
+    print("=" * 60)
+    print("Heavy-hitter detection (Figure 4a/4b)")
+    print("=" * 60)
+    for with_song in (False, True):
+        condition = "with pop song" if with_song else "quiet room"
+        result = heavy_hitter_experiment(with_song=with_song)
+        counts = result.per_interval_heavy_counts
+        print(f"\n[{condition}]")
+        print(f"  heavy flow: {result.heavy_flow}")
+        print(f"  its bucket tone: {result.heavy_frequency:.0f} Hz")
+        print("  windows-heard per 1 s interval:",
+              [int(v) for v in counts.values])
+        print(f"  detected: {result.heavy_detected}   "
+              f"false positives: {len(result.false_positive_frequencies)}")
+        assert result.heavy_detected
+
+
+def port_scans() -> None:
+    print()
+    print("=" * 60)
+    print("Port-scan detection (Figure 4c/4d)")
+    print("=" * 60)
+    for with_song in (False, True):
+        condition = "with pop song" if with_song else "quiet room"
+        result = port_scan_experiment(with_song=with_song)
+        track = result.dominant_track_hz
+        print(f"\n[{condition}]")
+        print(f"  scan detected: {result.scan_detected}")
+        if result.alerts:
+            print(f"  distinct ports in alerting interval: "
+                  f"{result.alerts[0].distinct_ports}")
+        print(f"  ports heard (the sweep): {result.ports_heard}")
+        if len(track):
+            print(f"  dominant spectrogram track: "
+                  f"{track[0]:.0f} Hz -> {track[-1]:.0f} Hz "
+                  "(the paper's rising 'logarithmic line')")
+        assert result.scan_detected
+
+
+def main() -> None:
+    heavy_hitters()
+    port_scans()
+    print("\nall telemetry checks passed.")
+
+
+if __name__ == "__main__":
+    main()

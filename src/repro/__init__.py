@@ -1,0 +1,97 @@
+"""Music-Defined Networking — a full reproduction of Hogan & Esposito,
+HotNets 2018.
+
+Sound as an out-of-band network management channel: switches and
+servers emit (or passively produce) tones; a listening controller runs
+FFTs over microphone captures, maps frequencies back to network events,
+and triggers management actions.
+
+Quick tour::
+
+    from repro import (
+        Simulator, AcousticChannel, Microphone, Speaker,
+        FrequencyPlan, MusicAgent, MDNController,
+    )
+
+Subpackages
+-----------
+``repro.audio``
+    Acoustic substrate: synthesis, channel, capture, FFT/mel analysis.
+``repro.net``
+    Discrete-event network simulator: hosts, switches, links, SDN
+    control channel.
+``repro.fans``
+    Server fan acoustics and the datacenter/office scenes.
+``repro.core``
+    The paper's contribution: Music Protocol, frequency planning, the
+    MDN controller, and the six applications.
+``repro.baselines``
+    Comparators: count-min sketch, ECN, in-band management.
+"""
+
+from .audio import (
+    AcousticChannel,
+    AudioSignal,
+    FrequencyDetector,
+    Microphone,
+    Position,
+    Speaker,
+    SpectrumAnalyzer,
+    ToneSpec,
+)
+from .core import (
+    FrequencyPlan,
+    MDNController,
+    MusicAgent,
+    MusicProtocolMessage,
+    StateMachine,
+    ToneCounter,
+    sequence_machine,
+)
+from .fans import FanModel, Server, datacenter_scene, office_scene
+from .net import (
+    ControlChannel,
+    FlowKey,
+    Host,
+    Packet,
+    Simulator,
+    Switch,
+    Topology,
+    linear_topology,
+    rhombus_topology,
+    single_switch_topology,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcousticChannel",
+    "AudioSignal",
+    "ControlChannel",
+    "FanModel",
+    "FlowKey",
+    "FrequencyDetector",
+    "FrequencyPlan",
+    "Host",
+    "MDNController",
+    "Microphone",
+    "MusicAgent",
+    "MusicProtocolMessage",
+    "Packet",
+    "Position",
+    "Server",
+    "Simulator",
+    "Speaker",
+    "SpectrumAnalyzer",
+    "StateMachine",
+    "Switch",
+    "ToneCounter",
+    "ToneSpec",
+    "Topology",
+    "datacenter_scene",
+    "linear_topology",
+    "office_scene",
+    "rhombus_topology",
+    "sequence_machine",
+    "single_switch_topology",
+]

@@ -1,0 +1,266 @@
+"""The air between speakers and microphones.
+
+The paper's out-of-band channel is literal air: speakers bolted to
+switches and servers, microphones near the MDN controller.  This module
+models that medium deterministically so experiments are reproducible:
+
+* **Emitters** are positioned in a room.  Tones are *scheduled* on the
+  channel (start time + :class:`~repro.audio.synth.ToneSpec`), so the
+  network simulator can chirp at simulated times and the microphone
+  hears a causally consistent mixture.
+* **Propagation** applies spherical spreading (−20·log10(d) dB relative
+  to 1 m) and speed-of-sound delay.
+* **Noise sources** are pre-rendered positioned signals (ambience,
+  songs, fan wash) mixed into every capture.
+
+Rendering is pull-based: nothing is synthesized until a microphone asks
+for a window, and any window can be re-rendered bit-identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .signal import DEFAULT_SAMPLE_RATE, AudioSignal, db_to_amplitude
+from .synth import ToneSpec, raised_cosine_envelope, signalling_ramp
+
+#: Speed of sound in air at ~20 °C, m/s.
+SPEED_OF_SOUND = 343.0
+
+#: Closest distance used for attenuation math; prevents the inverse
+#: law from diverging when devices are modelled as co-located.
+MIN_DISTANCE = 0.1
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in the room, metres."""
+
+    x: float = 0.0
+    y: float = 0.0
+    z: float = 0.0
+
+    def distance_to(self, other: "Position") -> float:
+        return math.dist((self.x, self.y, self.z), (other.x, other.y, other.z))
+
+
+def propagation_loss_db(distance: float) -> float:
+    """Spherical-spreading loss relative to 1 m, in dB (>= 0)."""
+    return max(0.0, 20.0 * math.log10(max(distance, MIN_DISTANCE)))
+
+
+@dataclass(frozen=True)
+class ScheduledTone:
+    """A tone emission scheduled on the channel timeline."""
+
+    start_time: float
+    spec: ToneSpec
+    position: Position
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.spec.duration
+
+
+@dataclass(frozen=True)
+class NoiseBed:
+    """A pre-rendered positioned noise signal anchored at t = 0.
+
+    The signal loops if a capture window extends past its end, so a
+    short rendered ambience can cover an arbitrarily long experiment.
+    """
+
+    signal: AudioSignal
+    position: Position
+    loop: bool = True
+
+
+class AcousticChannel:
+    """The shared air: schedules emissions, renders microphone captures.
+
+    Parameters
+    ----------
+    sample_rate:
+        Sample rate used for all rendering.
+    enable_propagation_delay:
+        Model speed-of-sound delay (a few ms at room scale).  On by
+        default; tests that want exact timing can disable it.
+    echo_taps:
+        Early-reflection model: each ``(extra_delay_s, extra_loss_db)``
+        tap adds a delayed, attenuated copy of every tone (walls,
+        racks, raised floors).  Real rooms smear tones in time; the
+        detector must tolerate it.  Applies to point-source tones only
+        — noise beds are already diffuse.
+    """
+
+    def __init__(
+        self,
+        sample_rate: int = DEFAULT_SAMPLE_RATE,
+        enable_propagation_delay: bool = True,
+        echo_taps: tuple[tuple[float, float], ...] = (),
+    ) -> None:
+        for delay, loss_db in echo_taps:
+            if delay <= 0:
+                raise ValueError(f"echo delay must be positive, got {delay}")
+            if loss_db < 0:
+                raise ValueError(f"echo loss must be >= 0 dB, got {loss_db}")
+        self.sample_rate = sample_rate
+        self.enable_propagation_delay = enable_propagation_delay
+        self.echo_taps = tuple(echo_taps)
+        self._tones: list[ScheduledTone] = []
+        self._noise_beds: list[NoiseBed] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def play_tone(
+        self, start_time: float, spec: ToneSpec, position: Position = Position()
+    ) -> ScheduledTone:
+        """Schedule a tone emission; returns the schedule record."""
+        if start_time < 0:
+            raise ValueError(f"start_time must be non-negative, got {start_time}")
+        if spec.frequency >= self.sample_rate / 2:
+            raise ValueError(
+                f"tone frequency {spec.frequency} exceeds channel Nyquist "
+                f"limit ({self.sample_rate / 2} Hz)"
+            )
+        tone = ScheduledTone(start_time, spec, position)
+        self._tones.append(tone)
+        return tone
+
+    def add_noise(
+        self,
+        signal: AudioSignal,
+        position: Position = Position(),
+        loop: bool = True,
+    ) -> NoiseBed:
+        """Attach a pre-rendered noise bed to the channel."""
+        if signal.sample_rate != self.sample_rate:
+            raise ValueError(
+                f"noise sample rate {signal.sample_rate} != channel "
+                f"rate {self.sample_rate}"
+            )
+        if len(signal) == 0:
+            raise ValueError("noise bed must not be empty")
+        bed = NoiseBed(signal, position, loop)
+        self._noise_beds.append(bed)
+        return bed
+
+    @property
+    def scheduled_tones(self) -> tuple[ScheduledTone, ...]:
+        return tuple(self._tones)
+
+    def clear(self) -> None:
+        """Drop all scheduled tones and noise beds."""
+        self._tones.clear()
+        self._noise_beds.clear()
+
+    def prune(self, before: float, margin: float = 1.0) -> int:
+        """Forget tones that ended more than ``margin`` seconds before
+        ``before``.
+
+        Rendering sums over every scheduled tone, so a long-running
+        deployment (liveness heartbeats for hours) would otherwise
+        degrade linearly with history.  Pruned audio can no longer be
+        re-rendered; listeners that look back further than ``margin``
+        must prune accordingly.  Returns the number of tones dropped.
+        """
+        cutoff = before - margin
+        kept = [tone for tone in self._tones if tone.end_time >= cutoff]
+        dropped = len(self._tones) - len(kept)
+        self._tones = kept
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render_at(self, listener: Position, start: float, end: float) -> AudioSignal:
+        """Pressure signal arriving at ``listener`` during ``[start, end)``."""
+        if end < start:
+            raise ValueError(f"end ({end}) must be >= start ({start})")
+        count = int(round((end - start) * self.sample_rate))
+        mix = np.zeros(count)
+        if count == 0:
+            return AudioSignal(mix, self.sample_rate)
+        for tone in self._tones:
+            self._mix_tone(mix, tone, listener, start)
+            for extra_delay, extra_loss in self.echo_taps:
+                self._mix_tone(mix, tone, listener, start,
+                               extra_delay, extra_loss)
+        for bed in self._noise_beds:
+            self._mix_noise(mix, bed, listener, start)
+        return AudioSignal(mix, self.sample_rate)
+
+    def _mix_tone(
+        self,
+        mix: np.ndarray,
+        tone: ScheduledTone,
+        listener: Position,
+        window_start: float,
+        extra_delay: float = 0.0,
+        extra_loss_db: float = 0.0,
+    ) -> None:
+        """Add one (possibly partial) tone (or one of its echoes) into
+        a capture buffer."""
+        distance = listener.distance_to(tone.position)
+        delay = distance / SPEED_OF_SOUND if self.enable_propagation_delay else 0.0
+        delay += extra_delay
+        arrival = tone.start_time + delay
+        departure = arrival + tone.spec.duration
+
+        window_end = window_start + len(mix) / self.sample_rate
+        if departure <= window_start or arrival >= window_end:
+            return
+
+        level = tone.spec.level_db - propagation_loss_db(distance) - extra_loss_db
+        # Synthesize only the overlapping span, phase-continuous with
+        # the tone's own clock so windows seam together exactly.
+        overlap_start = max(arrival, window_start)
+        overlap_end = min(departure, window_end)
+        lo = int(round((overlap_start - window_start) * self.sample_rate))
+        hi = int(round((overlap_end - window_start) * self.sample_rate))
+        hi = min(hi, len(mix))
+        if hi <= lo:
+            return
+
+        tone_len = int(round(tone.spec.duration * self.sample_rate))
+        offset = int(round((overlap_start - arrival) * self.sample_rate))
+        n = np.arange(offset, min(offset + (hi - lo), tone_len))
+        if len(n) == 0:
+            return
+        amplitude = db_to_amplitude(level) * math.sqrt(2.0)
+        phase = 2.0 * math.pi * tone.spec.frequency * n / self.sample_rate
+        samples = amplitude * np.sin(phase)
+        envelope = raised_cosine_envelope(
+            tone_len, self.sample_rate, signalling_ramp(tone.spec.duration)
+        )
+        samples *= envelope[n]
+        mix[lo : lo + len(samples)] += samples
+
+    def _mix_noise(
+        self,
+        mix: np.ndarray,
+        bed: NoiseBed,
+        listener: Position,
+        window_start: float,
+    ) -> None:
+        """Add a (looping) noise bed into a capture buffer."""
+        distance = listener.distance_to(bed.position)
+        gain = 10.0 ** (-propagation_loss_db(distance) / 20.0)
+        source = bed.signal.samples
+        source_len = len(source)
+        start_index = int(round(window_start * self.sample_rate))
+        count = len(mix)
+        if bed.loop:
+            indices = (start_index + np.arange(count)) % source_len
+            mix += gain * source[indices]
+        else:
+            lo = start_index
+            hi = min(start_index + count, source_len)
+            if hi > lo >= 0:
+                mix[: hi - lo] += gain * source[lo:hi]

@@ -1,0 +1,193 @@
+"""Known-frequency detection: turning captured audio into events.
+
+The MDN controller always listens for a *known* set of frequencies —
+its frequency plan tells it which tones each switch may play (§3: "Each
+switch in our testbed was assigned a unique set of frequencies").  The
+:class:`FrequencyDetector` matches spectral energy in a capture window
+against that watch list and reports :class:`DetectionEvent`s.
+
+Two interchangeable backends exercise the ablation described in
+DESIGN.md §5:
+
+* ``"fft"`` — one windowed FFT per capture, peaks matched against the
+  watch list within a tolerance;
+* ``"goertzel"`` — a Goertzel bank evaluated only at the watched
+  frequencies (cheaper for small watch lists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fft import SpectrumAnalyzer
+from .goertzel import GoertzelBank
+from .signal import AudioSignal
+
+#: The paper's empirical separability limit between adjacent tones.
+DEFAULT_TOLERANCE_HZ = 10.0
+
+#: How far above the per-window noise floor a tone must stand.
+DEFAULT_THRESHOLD_DB = 10.0
+
+#: Absolute minimum received level for a valid detection.  §3: "in our
+#: experiments we played sounds of at least 30 dB"; anything quieter is
+#: treated as leakage or noise.
+DEFAULT_MIN_LEVEL_DB = 30.0
+
+#: A candidate peak this many dB below a stronger peak nearby is
+#: rejected as a window/envelope sidelobe of that peak.  Short tones
+#: cut by the capture-window boundary smear up to ~-16 dB of energy
+#: into ±40 Hz sidebands, so the margin is 15 dB.  The flip side is a
+#: near-far limit: a genuine tone more than 15 dB quieter than a
+#: simultaneous neighbour within ``SIDELOBE_RADIUS_HZ`` is masked —
+#: inherent to any shared acoustic medium, and the reason the paper
+#: assigns *disjoint per-switch frequency sets* rather than relying on
+#: level separation.
+SIDELOBE_REJECTION_DB = 15.0
+
+#: Radius, in Hz, within which sidelobe rejection applies.
+SIDELOBE_RADIUS_HZ = 120.0
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """One watched frequency heard in one capture window.
+
+    Attributes
+    ----------
+    frequency:
+        The *watched* frequency that matched (Hz) — i.e. the plan
+        entry, not the raw spectral estimate.
+    measured_frequency:
+        The spectral estimate that matched it (Hz).
+    level_db:
+        Received level of the tone, dB SPL.
+    time:
+        Capture-window start time, seconds (simulation clock).
+    """
+
+    frequency: float
+    measured_frequency: float
+    level_db: float
+    time: float
+
+
+class FrequencyDetector:
+    """Matches capture windows against a watch list of frequencies.
+
+    Parameters
+    ----------
+    watched_frequencies:
+        The frequencies the listening application cares about.
+    tolerance_hz:
+        Maximum |measured − watched| distance for a match.  Defaults to
+        half the paper's 20 Hz guard spacing, so adjacent plan entries
+        can never both claim one peak.
+    threshold_db:
+        Required prominence above the window's noise floor.
+    backend:
+        ``"fft"`` or ``"goertzel"``.  The Goertzel bank evaluates only
+        the watched bins and has no peak structure to reject smear
+        with, so tones cut by window boundaries can bleed into a 20 Hz
+        neighbour's bin; plans driving a Goertzel deployment should use
+        a 40 Hz guard (the FFT backend resolves 20 Hz).
+    """
+
+    def __init__(
+        self,
+        watched_frequencies: list[float],
+        tolerance_hz: float = DEFAULT_TOLERANCE_HZ,
+        threshold_db: float = DEFAULT_THRESHOLD_DB,
+        min_level_db: float = DEFAULT_MIN_LEVEL_DB,
+        backend: str = "fft",
+        analyzer: SpectrumAnalyzer | None = None,
+    ) -> None:
+        if not watched_frequencies:
+            raise ValueError("watched_frequencies must not be empty")
+        if tolerance_hz <= 0:
+            raise ValueError("tolerance_hz must be positive")
+        if backend not in ("fft", "goertzel"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.watched = sorted(set(float(f) for f in watched_frequencies))
+        self.tolerance_hz = tolerance_hz
+        self.threshold_db = threshold_db
+        self.min_level_db = min_level_db
+        self.backend = backend
+        self._analyzer = analyzer or SpectrumAnalyzer(zero_pad_factor=2)
+        self._goertzel = GoertzelBank(self.watched) if backend == "goertzel" else None
+
+    def detect(self, window: AudioSignal, time: float = 0.0) -> list[DetectionEvent]:
+        """Watched frequencies present in one capture window.
+
+        Returns at most one event per watched frequency, sorted by
+        ascending frequency.
+        """
+        if len(window) == 0:
+            return []
+        if self.backend == "goertzel":
+            return self._detect_goertzel(window, time)
+        return self._detect_fft(window, time)
+
+    def _detect_fft(self, window: AudioSignal, time: float) -> list[DetectionEvent]:
+        spectrum = self._analyzer.analyze(window)
+        peaks = self._analyzer.find_peaks(spectrum, self.threshold_db)
+        peaks = self._reject_sidelobes(peaks)
+        events: dict[float, DetectionEvent] = {}
+        for peak in peaks:
+            if peak.level_db < self.min_level_db:
+                continue
+            watched = self._match(peak.frequency)
+            if watched is None:
+                continue
+            event = DetectionEvent(watched, peak.frequency, peak.level_db, time)
+            existing = events.get(watched)
+            if existing is None or event.level_db > existing.level_db:
+                events[watched] = event
+        return sorted(events.values(), key=lambda e: e.frequency)
+
+    @staticmethod
+    def _reject_sidelobes(peaks: list) -> list:
+        """Drop peaks that are plausibly window sidelobes of a stronger
+        nearby peak (see ``SIDELOBE_REJECTION_DB``)."""
+        kept = []
+        for peak in peaks:  # peaks arrive sorted by descending magnitude
+            shadowed = any(
+                abs(strong.frequency - peak.frequency) <= SIDELOBE_RADIUS_HZ
+                and strong.level_db - peak.level_db >= SIDELOBE_REJECTION_DB
+                for strong in kept
+            )
+            if not shadowed:
+                kept.append(peak)
+        return kept
+
+    def _detect_goertzel(
+        self, window: AudioSignal, time: float
+    ) -> list[DetectionEvent]:
+        assert self._goertzel is not None
+        hits = self._goertzel.detect(window, self.threshold_db)
+        # The bank only evaluates watched frequencies, so sidelobe
+        # leakage from a loud neighbour shows up *at* a watched bin;
+        # apply the same relative rejection by level.
+        hits = sorted(hits, key=lambda h: h.magnitude, reverse=True)
+        kept = []
+        for hit in hits:
+            if hit.level_db < self.min_level_db:
+                continue
+            shadowed = any(
+                abs(strong.frequency - hit.frequency) <= SIDELOBE_RADIUS_HZ
+                and strong.level_db - hit.level_db >= SIDELOBE_REJECTION_DB
+                for strong in kept
+            )
+            if not shadowed:
+                kept.append(hit)
+        return [
+            DetectionEvent(hit.frequency, hit.frequency, hit.level_db, time)
+            for hit in sorted(kept, key=lambda h: h.frequency)
+        ]
+
+    def _match(self, measured: float) -> float | None:
+        """The watched frequency nearest ``measured``, if within tolerance."""
+        best = min(self.watched, key=lambda f: abs(f - measured))
+        if abs(best - measured) <= self.tolerance_hz:
+            return best
+        return None

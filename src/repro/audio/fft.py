@@ -1,0 +1,256 @@
+"""FFT spectrum analysis — the listening half of Music-Defined Networking.
+
+The paper's controller "uses the Fast Fourier Transform to process
+multiple sounds captured by the listening device and to identify the
+frequencies played by a switch" (Figure 2).  This module provides the
+windowed-FFT pipeline: magnitude spectra, noise-floor estimation, peak
+picking with parabolic interpolation, and a timed analysis entry point
+used to regenerate Figure 2b's processing-time CDF.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .signal import SILENCE_DB, AudioSignal, amplitude_to_db
+
+
+@dataclass(frozen=True)
+class Spectrum:
+    """A one-sided magnitude spectrum of an analysis window.
+
+    Attributes
+    ----------
+    frequencies:
+        Bin centre frequencies, Hz (ascending).
+    magnitudes:
+        Linear RMS-calibrated magnitude per bin (same pressure units as
+        :class:`~repro.audio.signal.AudioSignal` samples).
+    sample_rate:
+        Sample rate of the analysed window.
+    window_duration:
+        Length of the analysed window, seconds.
+    """
+
+    frequencies: np.ndarray
+    magnitudes: np.ndarray
+    sample_rate: int
+    window_duration: float
+
+    @property
+    def bin_width(self) -> float:
+        """Frequency resolution in Hz (spacing between bins)."""
+        if len(self.frequencies) < 2:
+            return 0.0
+        return float(self.frequencies[1] - self.frequencies[0])
+
+    def magnitude_at(self, frequency: float) -> float:
+        """Linear magnitude of the bin nearest ``frequency``."""
+        if len(self.frequencies) == 0:
+            return 0.0
+        index = int(np.argmin(np.abs(self.frequencies - frequency)))
+        return float(self.magnitudes[index])
+
+    def level_at(self, frequency: float) -> float:
+        """dB SPL level of the bin nearest ``frequency``."""
+        return amplitude_to_db(self.magnitude_at(frequency))
+
+    def band_power(self, low_hz: float, high_hz: float) -> float:
+        """Total power (sum of squared magnitudes) in ``[low_hz, high_hz]``."""
+        mask = (self.frequencies >= low_hz) & (self.frequencies <= high_hz)
+        return float(np.sum(np.square(self.magnitudes[mask])))
+
+    def noise_floor(self) -> float:
+        """Robust estimate of the broadband noise magnitude.
+
+        The median bin magnitude is insensitive to a handful of strong
+        tonal peaks, which is what makes detection *noise-relative*:
+        thresholds are set in dB above this floor rather than at an
+        absolute level (see DESIGN.md §5).
+        """
+        if len(self.magnitudes) == 0:
+            return 0.0
+        return float(np.median(self.magnitudes))
+
+    def noise_floor_db(self) -> float:
+        """The noise floor in dB SPL."""
+        floor = self.noise_floor()
+        return amplitude_to_db(floor) if floor > 0 else SILENCE_DB
+
+
+@dataclass(frozen=True)
+class SpectralPeak:
+    """A detected spectral peak.
+
+    Attributes
+    ----------
+    frequency:
+        Interpolated peak frequency, Hz.
+    magnitude:
+        Linear magnitude at the peak.
+    prominence_db:
+        Height of the peak above the spectrum's noise floor, dB.
+    """
+
+    frequency: float
+    magnitude: float
+    prominence_db: float
+
+    @property
+    def level_db(self) -> float:
+        return amplitude_to_db(self.magnitude)
+
+
+class SpectrumAnalyzer:
+    """Windowed-FFT analyzer with Hann weighting and peak picking.
+
+    Parameters
+    ----------
+    window:
+        Window function name: ``"hann"`` (default) or ``"rect"``.
+    zero_pad_factor:
+        FFT length multiplier (>= 1).  Padding interpolates the
+        spectrum, sharpening frequency estimates without changing true
+        resolution.
+    """
+
+    def __init__(self, window: str = "hann", zero_pad_factor: int = 1) -> None:
+        if window not in ("hann", "rect"):
+            raise ValueError(f"unknown window {window!r}")
+        if zero_pad_factor < 1:
+            raise ValueError("zero_pad_factor must be >= 1")
+        self.window = window
+        self.zero_pad_factor = zero_pad_factor
+
+    def analyze(self, signal: AudioSignal) -> Spectrum:
+        """Compute the one-sided magnitude spectrum of a window."""
+        count = len(signal)
+        if count == 0:
+            empty = np.zeros(0)
+            return Spectrum(empty, empty.copy(), signal.sample_rate, 0.0)
+        samples = signal.samples
+        if self.window == "hann":
+            taper = np.hanning(count)
+            # Coherent gain compensation keeps magnitudes calibrated.
+            samples = samples * taper
+            gain = np.sum(taper) / count
+        else:
+            gain = 1.0
+        n_fft = count * self.zero_pad_factor
+        spectrum = np.fft.rfft(samples, n=n_fft)
+        frequencies = np.fft.rfftfreq(n_fft, 1.0 / signal.sample_rate)
+        # Calibrate so a sinusoid of RMS level r reports magnitude r at
+        # its bin: |rfft| at the bin is (peak * count * gain / 2), and
+        # peak = r * sqrt(2), hence the sqrt(2)/(count*gain) factor.
+        magnitudes = np.abs(spectrum) * (np.sqrt(2.0) / (count * gain))
+        return Spectrum(frequencies, magnitudes, signal.sample_rate, signal.duration)
+
+    def find_peaks(
+        self,
+        spectrum: Spectrum,
+        threshold_db: float = 10.0,
+        min_frequency: float = 0.0,
+        max_frequency: float | None = None,
+        max_peaks: int | None = None,
+    ) -> list[SpectralPeak]:
+        """Locate tonal peaks standing ``threshold_db`` above the noise floor.
+
+        Peaks are local maxima refined with three-point parabolic
+        interpolation, returned sorted by descending magnitude.
+        """
+        mags = spectrum.magnitudes
+        freqs = spectrum.frequencies
+        if len(mags) < 3:
+            return []
+        floor = max(spectrum.noise_floor(), 1e-12)
+        min_magnitude = floor * 10.0 ** (threshold_db / 20.0)
+        high_limit = max_frequency if max_frequency is not None else freqs[-1]
+
+        candidates = np.where(
+            (mags[1:-1] > mags[:-2])
+            & (mags[1:-1] >= mags[2:])
+            & (mags[1:-1] >= min_magnitude)
+        )[0] + 1
+
+        peaks = []
+        for index in candidates:
+            freq = freqs[index]
+            if not min_frequency <= freq <= high_limit:
+                continue
+            left, centre, right = mags[index - 1], mags[index], mags[index + 1]
+            denominator = left - 2.0 * centre + right
+            if denominator != 0.0:
+                offset = 0.5 * (left - right) / denominator
+                offset = float(np.clip(offset, -0.5, 0.5))
+            else:
+                offset = 0.0
+            refined = freq + offset * spectrum.bin_width
+            prominence = 20.0 * np.log10(centre / floor)
+            peaks.append(SpectralPeak(float(refined), float(centre), float(prominence)))
+
+        peaks.sort(key=lambda p: p.magnitude, reverse=True)
+        if max_peaks is not None:
+            peaks = peaks[:max_peaks]
+        return peaks
+
+    def timed_analyze(self, signal: AudioSignal) -> tuple[Spectrum, float]:
+        """Analyze a window and report elapsed wall-clock seconds.
+
+        This is the measurement behind Figure 2b: the paper reports
+        that ~90% of ~50 ms samples were processed in <= 0.35 ms.
+        """
+        start = time.perf_counter()
+        spectrum = self.analyze(signal)
+        elapsed = time.perf_counter() - start
+        return spectrum, elapsed
+
+
+def bandpass_filter(
+    signal: AudioSignal, low_hz: float, high_hz: float
+) -> AudioSignal:
+    """Zero-phase FFT brick-wall band-pass.
+
+    Keeps only ``[low_hz, high_hz]``; used to isolate a known tone
+    (e.g. before TDOA correlation) without introducing group delay.
+    """
+    if not 0 <= low_hz < high_hz:
+        raise ValueError(f"invalid band [{low_hz}, {high_hz}]")
+    if len(signal) == 0:
+        return signal
+    spectrum = np.fft.rfft(signal.samples)
+    frequencies = np.fft.rfftfreq(len(signal), 1.0 / signal.sample_rate)
+    spectrum[(frequencies < low_hz) | (frequencies > high_hz)] = 0.0
+    return AudioSignal(np.fft.irfft(spectrum, len(signal)),
+                       signal.sample_rate)
+
+
+def power_spectrogram(
+    signal: AudioSignal,
+    frame_duration: float = 0.05,
+    hop_duration: float | None = None,
+    analyzer: SpectrumAnalyzer | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Short-time magnitude spectrogram of a signal.
+
+    Returns
+    -------
+    (times, frequencies, magnitudes):
+        ``times`` — frame start times (seconds), shape ``(T,)``;
+        ``frequencies`` — bin frequencies (Hz), shape ``(F,)``;
+        ``magnitudes`` — linear magnitudes, shape ``(T, F)``.
+    """
+    analyzer = analyzer or SpectrumAnalyzer()
+    times = []
+    rows = []
+    frequencies = np.zeros(0)
+    for start, frame in signal.frames(frame_duration, hop_duration):
+        spectrum = analyzer.analyze(frame)
+        frequencies = spectrum.frequencies
+        times.append(start)
+        rows.append(spectrum.magnitudes)
+    if not rows:
+        return np.zeros(0), np.zeros(0), np.zeros((0, 0))
+    return np.array(times), frequencies, np.vstack(rows)

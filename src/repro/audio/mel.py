@@ -1,0 +1,113 @@
+"""Mel-scale analysis: the spectrograms of Figures 3b, 4, 5 and 6.
+
+Every spectrogram the paper shows is mel-scaled ("Frequency values in
+the spectrogram are normalized by the mel-scale", Figure 5; the port
+scan's "clear logarithmic line ... merely given by the Mel-scale on the
+y-axis", §5).  This module provides the HTK mel conversion, triangular
+mel filterbanks and mel spectrograms over that basis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fft import SpectrumAnalyzer, power_spectrogram
+from .signal import AudioSignal
+
+
+def hz_to_mel(frequency_hz: float | np.ndarray) -> float | np.ndarray:
+    """Convert Hz to mel (HTK formula: ``2595 * log10(1 + f/700)``)."""
+    return 2595.0 * np.log10(1.0 + np.asarray(frequency_hz, dtype=float) / 700.0)
+
+
+def mel_to_hz(mel: float | np.ndarray) -> float | np.ndarray:
+    """Convert mel back to Hz (inverse of :func:`hz_to_mel`)."""
+    return 700.0 * (10.0 ** (np.asarray(mel, dtype=float) / 2595.0) - 1.0)
+
+
+def mel_filterbank(
+    num_filters: int,
+    fft_frequencies: np.ndarray,
+    low_hz: float = 0.0,
+    high_hz: float | None = None,
+) -> np.ndarray:
+    """Triangular mel filterbank matrix.
+
+    Parameters
+    ----------
+    num_filters:
+        Number of mel bands.
+    fft_frequencies:
+        Bin centre frequencies of the linear spectrum the filterbank
+        will be applied to.
+    low_hz, high_hz:
+        Band edges; ``high_hz`` defaults to the top FFT frequency.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(num_filters, len(fft_frequencies))`` weight matrix.
+    """
+    if num_filters < 1:
+        raise ValueError("num_filters must be >= 1")
+    if len(fft_frequencies) == 0:
+        return np.zeros((num_filters, 0))
+    top = float(fft_frequencies[-1]) if high_hz is None else high_hz
+    if not 0 <= low_hz < top:
+        raise ValueError(f"invalid mel band [{low_hz}, {top}]")
+    mel_edges = np.linspace(hz_to_mel(low_hz), hz_to_mel(top), num_filters + 2)
+    hz_edges = mel_to_hz(mel_edges)
+    bank = np.zeros((num_filters, len(fft_frequencies)))
+    for index in range(num_filters):
+        left, centre, right = hz_edges[index : index + 3]
+        rising = (fft_frequencies - left) / max(centre - left, 1e-9)
+        falling = (right - fft_frequencies) / max(right - centre, 1e-9)
+        bank[index] = np.clip(np.minimum(rising, falling), 0.0, None)
+    return bank
+
+
+def mel_spectrogram(
+    signal: AudioSignal,
+    num_filters: int = 64,
+    frame_duration: float = 0.05,
+    hop_duration: float | None = None,
+    low_hz: float = 0.0,
+    high_hz: float | None = None,
+    analyzer: SpectrumAnalyzer | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Mel-scaled magnitude spectrogram.
+
+    Returns
+    -------
+    (times, mel_center_hz, mel_magnitudes):
+        ``times`` — frame start times, shape ``(T,)``;
+        ``mel_center_hz`` — centre frequency (Hz) of each mel band,
+        shape ``(M,)``;
+        ``mel_magnitudes`` — band magnitudes, shape ``(T, M)``.
+    """
+    times, frequencies, magnitudes = power_spectrogram(
+        signal, frame_duration, hop_duration, analyzer
+    )
+    if len(times) == 0:
+        return times, np.zeros(0), np.zeros((0, num_filters))
+    bank = mel_filterbank(num_filters, frequencies, low_hz, high_hz)
+    mel_mags = magnitudes @ bank.T
+    top = float(frequencies[-1]) if high_hz is None else high_hz
+    mel_edges = np.linspace(hz_to_mel(low_hz), hz_to_mel(top), num_filters + 2)
+    centres = mel_to_hz(mel_edges[1:-1])
+    return times, np.asarray(centres), mel_mags
+
+
+def dominant_mel_track(
+    times: np.ndarray, mel_center_hz: np.ndarray, mel_magnitudes: np.ndarray
+) -> np.ndarray:
+    """Per-frame frequency (Hz) of the strongest mel band.
+
+    Used to characterize spectrogram shape programmatically — e.g. the
+    port-scan experiments assert this track is monotonically increasing
+    (the "clear logarithmic line" of Figure 4c).
+    """
+    if len(times) == 0:
+        return np.zeros(0)
+    strongest = np.argmax(mel_magnitudes, axis=1)
+    return mel_center_hz[strongest]

@@ -1,0 +1,291 @@
+"""Noise sources for the acoustic channel.
+
+The paper runs every detection experiment twice: once in a quiet room
+and once with interference — either real datacenter ambience (fans,
+HVAC, §7) or a popular song played as "random background noise"
+(Sia's *Cheap Thrills*, Figure 4b/4d).
+
+We reproduce both kinds of interference:
+
+* **Stochastic noise** — white / pink / brown generators, band-limited
+  noise, and an HVAC hum model, composed into datacenter and office
+  ambience presets.
+* **Song noise** — the actual song cannot be shipped, so
+  :class:`SongNoise` generates an equivalent interferer: a seeded,
+  beat-structured melody over a tempered scale with harmonics and
+  vibrato.  What matters for the experiments is that the interference
+  is *tonal, structured and non-stationary* and occupies the musical
+  band, which is exactly what defeats naive absolute-threshold
+  detectors (see DESIGN.md, substitutions table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .signal import DEFAULT_SAMPLE_RATE, AudioSignal, db_to_amplitude
+
+
+def _scale_to_level(samples: np.ndarray, level_db: float) -> np.ndarray:
+    """Rescale samples so their RMS equals ``level_db`` (dB SPL)."""
+    rms = np.sqrt(np.mean(np.square(samples))) if len(samples) else 0.0
+    if rms == 0.0:
+        return samples
+    return samples * (db_to_amplitude(level_db) / rms)
+
+
+def white_noise(
+    duration: float,
+    level_db: float = 40.0,
+    sample_rate: int = DEFAULT_SAMPLE_RATE,
+    rng: np.random.Generator | None = None,
+) -> AudioSignal:
+    """Flat-spectrum Gaussian noise at the given RMS level."""
+    rng = rng or np.random.default_rng()
+    count = int(round(duration * sample_rate))
+    samples = rng.standard_normal(count)
+    return AudioSignal(_scale_to_level(samples, level_db), sample_rate)
+
+
+def pink_noise(
+    duration: float,
+    level_db: float = 40.0,
+    sample_rate: int = DEFAULT_SAMPLE_RATE,
+    rng: np.random.Generator | None = None,
+) -> AudioSignal:
+    """1/f noise via spectral shaping — the usual model for room ambience."""
+    rng = rng or np.random.default_rng()
+    count = int(round(duration * sample_rate))
+    if count == 0:
+        return AudioSignal(np.zeros(0), sample_rate)
+    spectrum = np.fft.rfft(rng.standard_normal(count))
+    freqs = np.fft.rfftfreq(count, 1.0 / sample_rate)
+    shaping = np.ones_like(freqs)
+    nonzero = freqs > 0
+    shaping[nonzero] = 1.0 / np.sqrt(freqs[nonzero])
+    shaping[0] = 0.0
+    samples = np.fft.irfft(spectrum * shaping, n=count)
+    return AudioSignal(_scale_to_level(samples, level_db), sample_rate)
+
+
+def brown_noise(
+    duration: float,
+    level_db: float = 40.0,
+    sample_rate: int = DEFAULT_SAMPLE_RATE,
+    rng: np.random.Generator | None = None,
+) -> AudioSignal:
+    """1/f^2 noise (integrated white noise) — heavy low-frequency rumble."""
+    rng = rng or np.random.default_rng()
+    count = int(round(duration * sample_rate))
+    if count == 0:
+        return AudioSignal(np.zeros(0), sample_rate)
+    samples = np.cumsum(rng.standard_normal(count))
+    samples -= np.mean(samples)
+    return AudioSignal(_scale_to_level(samples, level_db), sample_rate)
+
+
+def band_noise(
+    duration: float,
+    low_hz: float,
+    high_hz: float,
+    level_db: float = 40.0,
+    sample_rate: int = DEFAULT_SAMPLE_RATE,
+    rng: np.random.Generator | None = None,
+) -> AudioSignal:
+    """Noise whose energy is confined to ``[low_hz, high_hz]``.
+
+    Built by zeroing the FFT of white noise outside the band, so the
+    stop-band rejection is essentially perfect.
+    """
+    if not 0 <= low_hz < high_hz:
+        raise ValueError(f"invalid band [{low_hz}, {high_hz}]")
+    if high_hz > sample_rate / 2:
+        raise ValueError(f"band edge {high_hz} exceeds Nyquist limit")
+    rng = rng or np.random.default_rng()
+    count = int(round(duration * sample_rate))
+    if count == 0:
+        return AudioSignal(np.zeros(0), sample_rate)
+    spectrum = np.fft.rfft(rng.standard_normal(count))
+    freqs = np.fft.rfftfreq(count, 1.0 / sample_rate)
+    spectrum[(freqs < low_hz) | (freqs > high_hz)] = 0.0
+    samples = np.fft.irfft(spectrum, n=count)
+    return AudioSignal(_scale_to_level(samples, level_db), sample_rate)
+
+
+def hvac_hum(
+    duration: float,
+    level_db: float = 55.0,
+    mains_hz: float = 60.0,
+    sample_rate: int = DEFAULT_SAMPLE_RATE,
+    rng: np.random.Generator | None = None,
+) -> AudioSignal:
+    """Air-handler hum: mains harmonics plus low-frequency rumble.
+
+    Models the persistent tonal floor of machine rooms; energy is
+    concentrated below ~400 Hz, well beneath the MDN signalling band.
+    """
+    rng = rng or np.random.default_rng()
+    count = int(round(duration * sample_rate))
+    t = np.arange(count) / sample_rate
+    samples = np.zeros(count)
+    for k, gain in ((1, 1.0), (2, 0.6), (3, 0.35), (4, 0.2)):
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        samples += gain * np.sin(2.0 * np.pi * mains_hz * k * t + phase)
+    rumble = brown_noise(duration, level_db, sample_rate, rng)
+    samples = _scale_to_level(samples, level_db) + 0.5 * rumble.samples
+    return AudioSignal(_scale_to_level(samples, level_db), sample_rate)
+
+
+# ----------------------------------------------------------------------
+# Song noise — the Cheap-Thrills substitute
+# ----------------------------------------------------------------------
+
+#: A-minor pentatonic-ish pitch classes (MIDI note numbers modulo 12)
+#: used for melody generation: sounds song-like without shipping a song.
+_PENTATONIC = (0, 3, 5, 7, 10)
+
+
+def _midi_to_hz(note: float) -> float:
+    return 440.0 * 2.0 ** ((note - 69) / 12.0)
+
+
+@dataclass
+class SongNoise:
+    """A deterministic pop-song-like interferer.
+
+    Generates a beat-structured melody: notes drawn from a pentatonic
+    scale around ``base_midi_note``, quantized to a 16th-note grid at
+    ``tempo_bpm``, each note carrying harmonics and a little vibrato,
+    over a soft percussive noise bed.  The result is tonal,
+    non-stationary interference comparable to playing a pop song near
+    the microphone (Figure 4b/4d's *Cheap Thrills* role).
+
+    Attributes
+    ----------
+    tempo_bpm:
+        Song tempo.  *Cheap Thrills* is ~90 BPM.
+    base_midi_note:
+        Melodic register centre (MIDI).  57 = A3 (220 Hz).
+    level_db:
+        Overall RMS level of the rendered song.
+    seed:
+        RNG seed; the same seed always yields the same "song".
+    """
+
+    tempo_bpm: float = 90.0
+    base_midi_note: int = 57
+    level_db: float = 55.0
+    seed: int = 2018
+    num_harmonics: int = 3
+    vibrato_hz: float = 5.0
+    vibrato_depth: float = 0.005
+
+    def render(
+        self, duration: float, sample_rate: int = DEFAULT_SAMPLE_RATE
+    ) -> AudioSignal:
+        """Render ``duration`` seconds of the song."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        rng = np.random.default_rng(self.seed)
+        count = int(round(duration * sample_rate))
+        t = np.arange(count) / sample_rate
+        samples = np.zeros(count)
+
+        sixteenth = 60.0 / self.tempo_bpm / 4.0
+        num_steps = int(np.ceil(duration / sixteenth))
+        octave_offsets = (-12, 0, 0, 0, 12)
+        current = float(self.base_midi_note)
+        for step in range(num_steps):
+            start = step * sixteenth
+            if start >= duration:
+                break
+            # Rests on some steps keep the texture song-like.
+            if rng.random() < 0.25:
+                continue
+            pitch_class = int(rng.choice(_PENTATONIC))
+            octave = int(rng.choice(octave_offsets))
+            current = self.base_midi_note + pitch_class + octave
+            freq = _midi_to_hz(current)
+            if freq >= sample_rate / 2:
+                continue
+            note_len = sixteenth * float(rng.choice((1, 1, 2, 4)))
+            end = min(start + note_len, duration)
+            lo = int(round(start * sample_rate))
+            hi = int(round(end * sample_rate))
+            if hi <= lo:
+                continue
+            local_t = t[lo:hi] - t[lo]
+            vibrato = self.vibrato_depth * np.sin(
+                2.0 * np.pi * self.vibrato_hz * local_t
+            )
+            note = np.zeros(hi - lo)
+            for k in range(1, self.num_harmonics + 1):
+                harmonic_freq = freq * k
+                if harmonic_freq >= sample_rate / 2:
+                    break
+                note += (0.5 ** (k - 1)) * np.sin(
+                    2.0 * np.pi * harmonic_freq * (1.0 + vibrato) * local_t
+                )
+            # Note envelope: fast attack, exponential decay.
+            envelope = np.exp(-3.0 * local_t / max(note_len, 1e-6))
+            attack = min(len(note), max(1, int(0.005 * sample_rate)))
+            envelope[:attack] *= np.linspace(0.0, 1.0, attack)
+            samples[lo:hi] += note * envelope
+
+        # Percussive bed: a burst of band noise on each beat.
+        beat = 60.0 / self.tempo_bpm
+        burst_len = int(0.05 * sample_rate)
+        num_beats = int(duration / beat) + 1
+        for b in range(num_beats):
+            lo = int(round(b * beat * sample_rate))
+            hi = min(lo + burst_len, count)
+            if hi <= lo:
+                continue
+            burst = rng.standard_normal(hi - lo)
+            burst *= np.exp(-10.0 * np.arange(hi - lo) / sample_rate / 0.05)
+            samples[lo:hi] += 0.3 * burst
+
+        return AudioSignal(_scale_to_level(samples, self.level_db), sample_rate)
+
+
+# ----------------------------------------------------------------------
+# Ambience presets
+# ----------------------------------------------------------------------
+
+
+def office_ambience(
+    duration: float,
+    level_db: float = 45.0,
+    sample_rate: int = DEFAULT_SAMPLE_RATE,
+    rng: np.random.Generator | None = None,
+) -> AudioSignal:
+    """Quiet office: low pink noise plus faint HVAC (§7, Figure 6c-d)."""
+    rng = rng or np.random.default_rng()
+    bed = pink_noise(duration, level_db, sample_rate, rng)
+    hum = hvac_hum(duration, level_db - 10.0, sample_rate=sample_rate, rng=rng)
+    return AudioSignal(
+        _scale_to_level(bed.samples + hum.samples, level_db), sample_rate
+    )
+
+
+def datacenter_ambience(
+    duration: float,
+    level_db: float = 75.0,
+    sample_rate: int = DEFAULT_SAMPLE_RATE,
+    rng: np.random.Generator | None = None,
+) -> AudioSignal:
+    """Machine-room ambience: strong broadband fan wash plus HVAC.
+
+    The paper cites datacenter noise "may exceed 85 dBA"; the default
+    here is 75 dB at the microphone (the rack under test adds its own
+    fans on top via :mod:`repro.fans`).
+    """
+    rng = rng or np.random.default_rng()
+    wash = band_noise(duration, 100.0, sample_rate / 2 * 0.9, level_db,
+                      sample_rate, rng)
+    hum = hvac_hum(duration, level_db - 8.0, sample_rate=sample_rate, rng=rng)
+    return AudioSignal(
+        _scale_to_level(wash.samples + hum.samples, level_db), sample_rate
+    )

@@ -1,0 +1,237 @@
+"""Tone synthesis: the speaker-side half of Music-Defined Networking.
+
+The paper drives cheap speakers from Raspberry Pis attached to Zodiac FX
+switches.  A Music Protocol message tells the Pi *frequency*, *duration*
+and *intensity*; the Pi then plays a tone.  This module synthesizes those
+tones.
+
+Two details matter for faithful reproduction:
+
+* **Envelopes.**  A rectangular (hard on/off) tone has sinc-shaped
+  sidelobes that smear energy into neighbouring FFT bins.  The paper
+  found a 20 Hz guard between frequencies sufficient; that only works
+  when tones are shaped.  We apply a raised-cosine attack/release ramp
+  by default.
+
+* **Calibration.**  Intensity is expressed in dB SPL so the "at least
+  30 dB" requirement from Section 3 and the "85 dBA datacenter" noise
+  level live on the same scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .signal import DEFAULT_SAMPLE_RATE, AudioSignal, db_to_amplitude
+
+#: Default raised-cosine attack/release ramp, seconds.  5 ms keeps
+#: 30 ms tones (the shortest the paper's testbed produced) mostly flat.
+DEFAULT_RAMP = 0.005
+
+#: Ramp cap for adaptive shaping, seconds.
+MAX_SIGNALLING_RAMP = 0.025
+
+#: Fraction of the tone duration devoted to each ramp under adaptive
+#: shaping.  0.25 makes a short tone fully Hann-shaped (ramps meet in
+#: the middle at duration/4 each side of a half-length plateau).
+SIGNALLING_RAMP_FRACTION = 0.25
+
+
+def signalling_ramp(duration: float) -> float:
+    """The adaptive ramp used for Music Protocol tones.
+
+    Short tones need aggressive shaping: a 50 ms rectangular-ish tone
+    has envelope sidelobes every 20 Hz at only ~-13 dB, which lands
+    exactly on the paper's 20 Hz frequency grid and cross-triggers
+    neighbouring plan slots.  Ramping 25% of the duration on each side
+    pushes everything beyond ±40 Hz below -27 dB (below -45 dB past
+    ±60 Hz), at the cost of a slightly wider mainlobe.  See DESIGN.md
+    §5 ("tone envelope").
+    """
+    return min(MAX_SIGNALLING_RAMP, duration * SIGNALLING_RAMP_FRACTION)
+
+
+def raised_cosine_envelope(
+    num_samples: int, sample_rate: int, ramp: float = DEFAULT_RAMP
+) -> np.ndarray:
+    """An amplitude envelope with raised-cosine attack and release.
+
+    The ramp is shortened automatically when the tone is too short to
+    fit two full ramps.
+    """
+    if num_samples <= 0:
+        return np.zeros(0)
+    envelope = np.ones(num_samples)
+    ramp_len = min(int(round(ramp * sample_rate)), num_samples // 2)
+    if ramp_len > 0:
+        ramp_curve = 0.5 * (1.0 - np.cos(np.linspace(0.0, np.pi, ramp_len)))
+        envelope[:ramp_len] = ramp_curve
+        envelope[num_samples - ramp_len :] = ramp_curve[::-1]
+    return envelope
+
+
+def sine_tone(
+    frequency: float,
+    duration: float,
+    level_db: float = 60.0,
+    sample_rate: int = DEFAULT_SAMPLE_RATE,
+    phase: float = 0.0,
+    ramp: float = DEFAULT_RAMP,
+) -> AudioSignal:
+    """Synthesize a pure tone.
+
+    Parameters
+    ----------
+    frequency:
+        Tone frequency in Hz; must sit below the Nyquist limit.
+    duration:
+        Tone length in seconds.
+    level_db:
+        RMS sound pressure level in dB SPL.
+    phase:
+        Initial phase in radians.
+    ramp:
+        Raised-cosine attack/release duration in seconds (0 disables
+        shaping and produces a rectangular tone).
+    """
+    if frequency <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency}")
+    if frequency >= sample_rate / 2:
+        raise ValueError(
+            f"frequency {frequency} Hz exceeds Nyquist limit for "
+            f"sample rate {sample_rate}"
+        )
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    count = int(round(duration * sample_rate))
+    t = np.arange(count) / sample_rate
+    # RMS of a sine is amplitude / sqrt(2); compensate so level_db is RMS.
+    amplitude = db_to_amplitude(level_db) * np.sqrt(2.0)
+    samples = amplitude * np.sin(2.0 * np.pi * frequency * t + phase)
+    samples *= raised_cosine_envelope(count, sample_rate, ramp)
+    return AudioSignal(samples, sample_rate)
+
+
+def harmonic_tone(
+    fundamental: float,
+    duration: float,
+    level_db: float = 60.0,
+    harmonic_rolloff_db: float = 6.0,
+    num_harmonics: int = 4,
+    sample_rate: int = DEFAULT_SAMPLE_RATE,
+    ramp: float = DEFAULT_RAMP,
+) -> AudioSignal:
+    """A tone with a harmonic series, as produced by real small speakers.
+
+    Harmonic ``k`` sits at ``k * fundamental`` and is attenuated by
+    ``(k - 1) * harmonic_rolloff_db`` dB relative to the fundamental.
+    Harmonics above Nyquist are skipped.
+    """
+    if num_harmonics < 1:
+        raise ValueError("num_harmonics must be >= 1")
+    parts = []
+    for k in range(1, num_harmonics + 1):
+        freq = fundamental * k
+        if freq >= sample_rate / 2:
+            break
+        parts.append(
+            sine_tone(
+                freq,
+                duration,
+                level_db - (k - 1) * harmonic_rolloff_db,
+                sample_rate,
+                ramp=ramp,
+            )
+        )
+    return AudioSignal.from_components(parts, sample_rate)
+
+
+def chirp(
+    start_frequency: float,
+    end_frequency: float,
+    duration: float,
+    level_db: float = 60.0,
+    sample_rate: int = DEFAULT_SAMPLE_RATE,
+    ramp: float = DEFAULT_RAMP,
+) -> AudioSignal:
+    """A linear frequency sweep between two frequencies.
+
+    Used by tests as a worst-case interferer that crosses every band.
+    """
+    for freq in (start_frequency, end_frequency):
+        if freq <= 0 or freq >= sample_rate / 2:
+            raise ValueError(f"chirp frequency {freq} out of range")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    count = int(round(duration * sample_rate))
+    t = np.arange(count) / sample_rate
+    sweep_rate = (end_frequency - start_frequency) / duration
+    phase = 2.0 * np.pi * (start_frequency * t + 0.5 * sweep_rate * t * t)
+    amplitude = db_to_amplitude(level_db) * np.sqrt(2.0)
+    samples = amplitude * np.sin(phase)
+    samples *= raised_cosine_envelope(count, sample_rate, ramp)
+    return AudioSignal(samples, sample_rate)
+
+
+@dataclass(frozen=True)
+class ToneSpec:
+    """A tone request: what a Music Protocol message asks a speaker to play.
+
+    Attributes
+    ----------
+    frequency:
+        Tone frequency, Hz.
+    duration:
+        Tone duration, seconds.
+    level_db:
+        Emission level at the speaker, dB SPL.
+    """
+
+    frequency: float
+    duration: float
+    level_db: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise ValueError(f"frequency must be positive, got {self.frequency}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+    def render(
+        self, sample_rate: int = DEFAULT_SAMPLE_RATE, ramp: float | None = None
+    ) -> AudioSignal:
+        """Synthesize the tone this spec describes.
+
+        Uses the adaptive signalling ramp by default (see
+        :func:`signalling_ramp`); pass ``ramp`` to override.
+        """
+        return sine_tone(
+            self.frequency, self.duration, self.level_db, sample_rate,
+            ramp=signalling_ramp(self.duration) if ramp is None else ramp,
+        )
+
+
+def tone_sequence(
+    specs: list[ToneSpec],
+    gap: float = 0.01,
+    sample_rate: int = DEFAULT_SAMPLE_RATE,
+) -> AudioSignal:
+    """Render a melody: tones played back-to-back with ``gap`` seconds
+    of silence between them.  This is the "music" in Music-Defined
+    Networking — e.g. the three-knock authentication sequence of §4."""
+    if gap < 0:
+        raise ValueError("gap must be non-negative")
+    if not specs:
+        return AudioSignal(np.zeros(0), sample_rate)
+    pieces = []
+    silence = AudioSignal.silence(gap, sample_rate)
+    for index, spec in enumerate(specs):
+        if index > 0 and gap > 0:
+            pieces.append(silence)
+        pieces.append(spec.render(sample_rate))
+    result = pieces[0]
+    for piece in pieces[1:]:
+        result = result.concat(piece)
+    return result

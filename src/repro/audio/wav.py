@@ -1,0 +1,88 @@
+"""WAV import/export: listen to Music-Defined Networking.
+
+Every experiment in this reproduction produces real audio —
+``AudioSignal`` arrays a speaker could play.  This module writes them
+to standard 16-bit PCM WAV files (stdlib ``wave`` only) so you can
+actually *hear* a port knock, a queue congesting, or a server dying,
+and reads WAVs back so recorded real-world audio can be pushed through
+the same detectors.
+"""
+
+from __future__ import annotations
+
+import wave
+from pathlib import Path
+
+import numpy as np
+
+from .signal import AudioSignal
+
+#: Peak sample magnitude written as full-scale 16-bit PCM.
+_PCM_FULL_SCALE = 32767
+
+
+def write_wav(
+    signal: AudioSignal,
+    path: str | Path,
+    normalize: bool = True,
+    peak_fraction: float = 0.9,
+) -> Path:
+    """Write a signal to a 16-bit mono PCM WAV file.
+
+    Parameters
+    ----------
+    signal:
+        The audio to write.
+    path:
+        Output file path (created/overwritten).
+    normalize:
+        Scale so the loudest sample sits at ``peak_fraction`` of full
+        scale.  Simulation signals are calibrated in pressure units
+        (1.0 = 94 dB SPL) and are usually tiny in linear terms, so
+        normalization is on by default; pass False to preserve the
+        absolute calibration (clipping anything above 1.0).
+    """
+    if len(signal) == 0:
+        raise ValueError("cannot write an empty signal")
+    if not 0 < peak_fraction <= 1.0:
+        raise ValueError("peak_fraction must be in (0, 1]")
+    samples = signal.samples
+    if normalize:
+        peak = float(np.max(np.abs(samples)))
+        if peak > 0:
+            samples = samples * (peak_fraction / peak)
+    samples = np.clip(samples, -1.0, 1.0)
+    pcm = (samples * _PCM_FULL_SCALE).astype("<i2")
+
+    path = Path(path)
+    with wave.open(str(path), "wb") as handle:
+        handle.setnchannels(1)
+        handle.setsampwidth(2)
+        handle.setframerate(signal.sample_rate)
+        handle.writeframes(pcm.tobytes())
+    return path
+
+
+def read_wav(path: str | Path) -> AudioSignal:
+    """Read a mono (or first-channel-of-stereo) PCM WAV file.
+
+    Returns samples scaled to [-1, 1]; apply your own calibration to
+    map onto dB SPL if the recording's reference level is known.
+    """
+    path = Path(path)
+    with wave.open(str(path), "rb") as handle:
+        channels = handle.getnchannels()
+        width = handle.getsampwidth()
+        rate = handle.getframerate()
+        frames = handle.readframes(handle.getnframes())
+    if width == 2:
+        data = np.frombuffer(frames, dtype="<i2").astype(np.float64)
+        data /= _PCM_FULL_SCALE
+    elif width == 1:  # 8-bit WAV is unsigned
+        data = np.frombuffer(frames, dtype=np.uint8).astype(np.float64)
+        data = (data - 128.0) / 127.0
+    else:
+        raise ValueError(f"unsupported sample width {width} bytes")
+    if channels > 1:
+        data = data.reshape(-1, channels)[:, 0].copy()
+    return AudioSignal(data, rate)

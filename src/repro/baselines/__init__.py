@@ -1,0 +1,27 @@
+"""Comparator implementations the paper positions itself against."""
+
+from .ecn import ECNMarker, ECNReceiver, ECNSourceObserver, EchoRecord
+from .inband import (
+    MANAGEMENT_PORT,
+    AcousticHeartbeat,
+    HeartbeatMonitor,
+    HeartbeatSender,
+    HeartbeatStats,
+)
+from .red import REDMarker
+from .sketch import CountMinSketch, SketchHeavyHitterDetector
+
+__all__ = [
+    "AcousticHeartbeat",
+    "CountMinSketch",
+    "ECNMarker",
+    "ECNReceiver",
+    "ECNSourceObserver",
+    "EchoRecord",
+    "HeartbeatMonitor",
+    "HeartbeatSender",
+    "HeartbeatStats",
+    "MANAGEMENT_PORT",
+    "REDMarker",
+    "SketchHeavyHitterDetector",
+]

@@ -1,0 +1,116 @@
+"""ECN-style in-band congestion notification baseline.
+
+Section 6 argues the MDN queue chirp can drive congestion decisions
+"without waiting for source reactions ... and without using the less
+efficient Explicit Congestion Notification (ECN) mechanism of TCP".
+The XBASE2 benchmark quantifies that: this module implements the ECN
+path — mark packets at the congested queue, carry the mark to the
+receiver, echo it back to the source — so the notification latencies of
+the two channels can be compared.
+
+The comparison point: an ECN signal is only as fast as the remaining
+downstream path plus the reverse path (one "round trip" from the
+congestion point), and it *shares fate* with the congested queue.  The
+acoustic signal leaves the switch at the next chirp and arrives at the
+speed of sound, independent of the data plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.host import Host
+from ..net.link import LinkDirection
+from ..net.packet import Packet
+from ..net.stats import TimeSeries
+
+
+class ECNMarker:
+    """Marks ECN-capable packets when an egress queue is congested.
+
+    Wire :meth:`maybe_mark` in front of the queue you want to protect
+    (the experiment harness wraps the switch's forward path).  Uses the
+    DCTCP-style instantaneous threshold rule.
+    """
+
+    def __init__(self, direction: LinkDirection, mark_threshold: int = 25) -> None:
+        if mark_threshold < 1:
+            raise ValueError("mark_threshold must be >= 1")
+        self.direction = direction
+        self.mark_threshold = mark_threshold
+        self.marked_count = 0
+        #: (time, queue_length) at each mark, for latency accounting.
+        self.mark_log: list[tuple[float, int]] = []
+
+    def maybe_mark(self, packet: Packet, time: float) -> None:
+        """Apply the marking rule to one packet entering the queue."""
+        queue_length = len(self.direction.queue)
+        if packet.ecn_capable and queue_length >= self.mark_threshold:
+            if not packet.ecn_marked:
+                packet.ecn_marked = True
+                self.marked_count += 1
+                self.mark_log.append((time, queue_length))
+
+
+@dataclass
+class EchoRecord:
+    """One congestion-experienced echo delivered back to the source."""
+
+    marked_at_receiver: float
+    echoed_to_source: float
+
+
+class ECNReceiver:
+    """Receiver side: echoes CE marks back to the source.
+
+    The echo is modelled as a small reverse-direction packet (real TCP
+    carries it in ACK flags).  Attach to the destination host.
+    """
+
+    def __init__(self, host: Host, echo_size_bytes: int = 64) -> None:
+        self.host = host
+        self.echo_size_bytes = echo_size_bytes
+        self.ce_received = 0
+        self.echoes: list[EchoRecord] = []
+        host.on_delivery(self._on_packet)
+
+    def _on_packet(self, packet: Packet) -> None:
+        if not packet.ecn_marked:
+            return
+        self.ce_received += 1
+        now = self.host.sim.now
+        echo = Packet(
+            packet.flow.reversed(),
+            size_bytes=self.echo_size_bytes,
+            created_at=now,
+            is_management=True,
+        )
+        # Tag so the source-side observer can recognize it.
+        echo.payload = b"ECN-ECHO"
+        self.host.send_packet(echo)
+        self.echoes.append(EchoRecord(now, float("nan")))
+
+
+class ECNSourceObserver:
+    """Source side: records when the first congestion echo arrives.
+
+    ``first_echo_time`` is the moment the *source* learns about
+    congestion via ECN — the number compared against the MDN
+    controller's tone-hearing time in XBASE2.
+    """
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+        self.first_echo_time: float | None = None
+        self.echo_count = 0
+        self.echo_times = TimeSeries(f"{host.name}.ecn_echoes")
+        host.on_delivery(self._on_packet)
+
+    def _on_packet(self, packet: Packet) -> None:
+        if packet.payload != b"ECN-ECHO":
+            return
+        now = self.host.sim.now
+        self.echo_count += 1
+        self.echo_times.record(now, 1.0)
+        if self.first_echo_time is None:
+            self.first_echo_time = now

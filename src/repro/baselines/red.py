@@ -1,0 +1,99 @@
+"""Random Early Detection: the classic AQM comparator.
+
+The §6 discussion contrasts the acoustic queue chirp with in-band
+congestion signalling.  :mod:`repro.baselines.ecn` implements the
+DCTCP-style *instantaneous* threshold mark; this module adds classic
+RED (Floyd & Jacobson), which marks probabilistically on an *EWMA* of
+the queue length — slower to react but less bursty in its marking.
+Having both lets the XBASE2-style comparisons show the acoustic chirp
+against the full spectrum of in-band mechanisms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..net.link import LinkDirection
+from ..net.packet import Packet
+
+
+class REDMarker:
+    """RED marking over a link direction's egress queue.
+
+    Parameters
+    ----------
+    direction:
+        The egress pipe whose queue is watched.
+    min_threshold, max_threshold:
+        Average-queue thresholds (packets): below min, never mark;
+        between, mark with probability ramping to ``max_probability``;
+        above max, always mark.
+    weight:
+        EWMA weight for the average-queue estimate (classic 0.002 is
+        for per-packet updates at line rate; at our simulated rates a
+        larger weight tracks comparably).
+    seed:
+        RNG seed for the probabilistic mark decisions.
+    """
+
+    def __init__(
+        self,
+        direction: LinkDirection,
+        min_threshold: float = 15.0,
+        max_threshold: float = 45.0,
+        max_probability: float = 0.1,
+        weight: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < min_threshold < max_threshold:
+            raise ValueError("need 0 < min_threshold < max_threshold")
+        if not 0 < max_probability <= 1:
+            raise ValueError("max_probability must be in (0, 1]")
+        if not 0 < weight <= 1:
+            raise ValueError("weight must be in (0, 1]")
+        self.direction = direction
+        self.min_threshold = min_threshold
+        self.max_threshold = max_threshold
+        self.max_probability = max_probability
+        self.weight = weight
+        self.average_queue = 0.0
+        self.marked_count = 0
+        self._count_since_mark = 0
+        self._rng = np.random.default_rng(seed)
+
+    def maybe_mark(self, packet: Packet, time: float) -> bool:
+        """Update the average and apply RED's marking rule to one
+        ECN-capable packet entering the queue.  Returns True if the
+        packet was marked."""
+        instantaneous = len(self.direction.queue)
+        self.average_queue = (
+            (1.0 - self.weight) * self.average_queue
+            + self.weight * instantaneous
+        )
+        if not packet.ecn_capable or packet.ecn_marked:
+            return False
+        if self.average_queue < self.min_threshold:
+            self._count_since_mark = 0
+            return False
+        if self.average_queue >= self.max_threshold:
+            self._mark(packet)
+            return True
+        # Linear ramp, with the classic count correction that spaces
+        # marks more uniformly.
+        base_probability = self.max_probability * (
+            (self.average_queue - self.min_threshold)
+            / (self.max_threshold - self.min_threshold)
+        )
+        self._count_since_mark += 1
+        denominator = max(1e-9,
+                          1.0 - self._count_since_mark * base_probability)
+        probability = min(1.0, base_probability / denominator)
+        if self._rng.random() < probability:
+            self._mark(packet)
+            return True
+        return False
+
+    def _mark(self, packet: Packet) -> None:
+        packet.ecn_marked = True
+        self.marked_count += 1
+        self._count_since_mark = 0

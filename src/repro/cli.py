@@ -1,0 +1,323 @@
+"""Command-line driver: regenerate any paper figure from a shell.
+
+::
+
+    python -m repro list                 # what can be run
+    python -m repro run fig3             # one experiment, printed report
+    python -m repro run all              # everything (a few minutes)
+    python -m repro run fig4ab --song    # variant flags where relevant
+    python -m repro render knock out.wav # write experiment audio you
+                                         # can actually listen to
+
+This is the adoption path for people who want the paper's numbers
+without reading the benchmark suite; every command is a thin driver
+over :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from . import experiments
+
+
+def _print_table(title: str, rows: list[tuple]) -> None:
+    print(f"\n== {title}")
+    widths = [max(len(str(row[col])) for row in rows)
+              for col in range(len(rows[0]))] if rows else []
+    for row in rows:
+        cells = [str(cell).ljust(width) for cell, width in zip(row, widths)]
+        print("   " + "  ".join(cells).rstrip())
+
+
+def run_fig2a(args: argparse.Namespace) -> None:
+    result = experiments.multiswitch_fft(
+        num_switches=args.switches,
+        noise_level_db=55.0 if args.noise else None,
+    )
+    rows = [("switch", "played Hz", "measured Hz", "level dB")]
+    for name in sorted(result.played):
+        rows.append((name, f"{result.played[name]:.0f}",
+                     f"{result.detected.get(name, float('nan')):.1f}",
+                     f"{result.levels_db.get(name, float('nan')):.1f}"))
+    _print_table("Fig 2a: simultaneous switch identification", rows)
+    print(f"   all identified: {result.all_identified}")
+
+
+def run_fig2b(args: argparse.Namespace) -> None:
+    result = experiments.fft_latency_cdf(num_samples=args.samples)
+    rows = [("percentile", "ms")]
+    rows += [(f"p{q}", f"{v:.4f}") for q, v in result.cdf_points()]
+    _print_table("Fig 2b: FFT processing-time CDF (paper: p90 <= 0.35 ms)",
+                 rows)
+
+
+def run_fig3(args: argparse.Namespace) -> None:
+    result = experiments.port_knocking_experiment()
+    rows = [("t (s)", "sent kB", "recvd kB")]
+    for time, sent in zip(result.sent_bytes.times[::4],
+                          result.sent_bytes.values[::4]):
+        rows.append((f"{time:.0f}", f"{sent / 1000:.0f}",
+                     f"{result.received_bytes.value_at(time) / 1000:.0f}"))
+    _print_table("Fig 3a: bytes sent / received", rows)
+    print(f"   knocks heard: {result.knock_ports_heard}; "
+          f"port opened at t = {result.opened_at:.1f} s")
+
+
+def run_fig4ab(args: argparse.Namespace) -> None:
+    result = experiments.heavy_hitter_experiment(with_song=args.song)
+    condition = "with song" if args.song else "clean"
+    rows = [("interval end", "heavy-bucket windows")]
+    rows += [(f"{t:.0f}", int(v)) for t, v in zip(
+        result.per_interval_heavy_counts.times,
+        result.per_interval_heavy_counts.values)]
+    _print_table(f"Fig 4a/b ({condition}): heavy hitter detection", rows)
+    print(f"   heavy flow {result.heavy_flow} -> "
+          f"{result.heavy_frequency:.0f} Hz; detected: "
+          f"{result.heavy_detected}; false positives: "
+          f"{len(result.false_positive_frequencies)}")
+
+
+def run_fig4cd(args: argparse.Namespace) -> None:
+    result = experiments.port_scan_experiment(with_song=args.song)
+    condition = "with song" if args.song else "clean"
+    _print_table(f"Fig 4c/d ({condition}): port scan detection", [
+        ("scan detected", result.scan_detected),
+        ("ports heard", len(result.ports_heard)),
+        ("sweep order preserved",
+         result.ports_heard == sorted(result.ports_heard)),
+    ])
+
+
+def run_fig5ab(args: argparse.Namespace) -> None:
+    result = experiments.load_balancing_experiment()
+    rows = [("t (s)", "queue pkts")]
+    rows += [(f"{t:.1f}", int(v)) for t, v in zip(
+        result.queue_series.times[::2], result.queue_series.values[::2])]
+    _print_table("Fig 5a: queue under ramping load (split on 700 Hz tone)",
+                 rows)
+    print(f"   split installed at t = {result.split_time:.2f} s "
+          f"(paper run: 3.7 s); final queue {result.final_queue:.0f}")
+
+
+def run_fig5cd(args: argparse.Namespace) -> None:
+    result = experiments.queue_monitor_experiment()
+    tone = {"low": "500 Hz", "medium": "600 Hz", "high": "700 Hz"}
+    rows = [("t (s)", "tone", "band")]
+    rows += [(f"{t:.1f}", tone[band], band)
+             for t, band in result.band_history]
+    _print_table("Fig 5c/d: queue bands by ear", rows)
+
+
+def run_fig6(args: argparse.Namespace) -> None:
+    rows = [("room", "fan", "line dB", "floor dB", "prominence dB")]
+    for room in ("datacenter", "office"):
+        for fan_on in (True, False):
+            panel = experiments.fan_spectrogram_panel(room, fan_on)
+            rows.append((room, "ON" if fan_on else "OFF",
+                         f"{panel.blade_line_level_db:.1f}",
+                         f"{panel.noise_floor_db:.1f}",
+                         f"{panel.line_prominence_db:.1f}"))
+    _print_table("Fig 6: blade-pass line vs room floor", rows)
+
+
+def run_fig7(args: argparse.Namespace) -> None:
+    rows = [("room", "on-on max", "on-off min", "separation", "detected at")]
+    for room in ("datacenter", "office"):
+        result = experiments.fan_failure_experiment(room=room)
+        rows.append((room, f"{result.on_on_max_score:.1f}",
+                     f"{result.on_off_min_score:.1f}",
+                     f"{result.separation_ratio:.1f}x",
+                     f"{result.detection_time:.1f} s"))
+    _print_table("Fig 7: amplitude-difference failure detection", rows)
+
+
+def run_xbase(args: argparse.Namespace) -> None:
+    sketch = experiments.sketch_vs_mdn()
+    _print_table("XBASE1: sketch vs MDN", [
+        ("MDN / sketch detected", f"{sketch.mdn_detected} / "
+         f"{sketch.sketch_detected}"),
+    ])
+    ecn = experiments.ecn_vs_mdn()
+    _print_table("XBASE2: notification latency", [
+        ("MDN tone", f"{ecn.mdn_latency * 1000:.0f} ms"),
+        ("ECN echo", f"{ecn.ecn_latency * 1000:.0f} ms"),
+    ])
+    oob = experiments.inband_vs_oob()
+    _print_table("XBASE3: delivery through data-plane failure", [
+        ("in-band", f"{oob.inband_delivery_rate:.2f}"),
+        ("acoustic", f"{oob.acoustic_delivery_rate:.2f}"),
+    ])
+
+
+def run_xext(args: argparse.Namespace) -> None:
+    relay = experiments.relay_experiment()
+    _print_table("XEXT1: multi-hop relay", [
+        ("direct heard", relay.direct_heard),
+        ("relayed heard", relay.relayed_heard),
+        ("latency", f"{relay.end_to_end_latency:.2f} s"),
+    ])
+    spreader = experiments.superspreader_experiment("superspreader")
+    ddos = experiments.superspreader_experiment("ddos")
+    _print_table("XEXT2: chord telemetry", [
+        ("superspreader detected", spreader.attack_detected),
+        ("DDoS victim detected", ddos.attack_detected),
+    ])
+    ultra = experiments.ultrasound_experiment()
+    _print_table("XEXT3: ultrasound capacity", [
+        ("audible", ultra.audible_capacity),
+        ("extended", ultra.extended_capacity),
+    ])
+    modem = experiments.modem_experiment()
+    _print_table("XEXT4: FSK modem", [
+        ("airtime", f"{modem.airtime_s:.2f} s for {modem.payload_bytes} B"),
+        ("decoded clean / noisy",
+         f"{modem.decoded_ok} / {modem.decoded_ok_with_song}"),
+    ])
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
+    "fig2a": ("FFT of simultaneous switches", run_fig2a),
+    "fig2b": ("FFT processing-time CDF", run_fig2b),
+    "fig3": ("port knocking", run_fig3),
+    "fig4ab": ("heavy-hitter detection", run_fig4ab),
+    "fig4cd": ("port-scan detection", run_fig4cd),
+    "fig5ab": ("load balancing", run_fig5ab),
+    "fig5cd": ("queue monitoring", run_fig5cd),
+    "fig6": ("fan spectrograms", run_fig6),
+    "fig7": ("fan failure detection", run_fig7),
+    "xbase": ("baseline comparisons", run_xbase),
+    "xext": ("extensions (relay, DDoS, ultrasound, modem)", run_xext),
+}
+
+
+def _render_knock():
+    """The port-knocking melody plus surrounding traffic silence."""
+    from .experiments.rigs import build_testbed
+    from .net import Action
+    from .core.apps import KnockConfig, KnockEmitter
+
+    testbed = build_testbed("single", default_action=Action.drop())
+    allocation = testbed.plan.allocate("s1", 3)
+    config = KnockConfig([7001, 7002, 7003], 8080, allocation)
+    KnockEmitter(testbed.topo.switches["s1"], testbed.agents["s1"], config)
+    h1 = testbed.topo.hosts["h1"]
+    for index, port in enumerate(config.knock_ports):
+        testbed.sim.schedule_at(0.5 + index,
+                                lambda p=port: h1.send_to("10.0.0.2", p))
+    testbed.sim.run(4.0)
+    return testbed.controller.microphone.record(testbed.channel, 0.0, 4.0)
+
+
+def _render_chirps():
+    """The Figure 5c/5d queue-band chirps: 500 -> 600 -> 700 -> 500 Hz."""
+    from .experiments.rigs import build_testbed
+    from .core.apps import BandToneMap, FIG5_BAND_FREQUENCIES, QueueChirper
+    from .net import OnOffSource
+
+    testbed = build_testbed("single")
+    port = testbed.topo.port_towards("s1", "h2")
+    tones = BandToneMap(FIG5_BAND_FREQUENCIES["low"],
+                        FIG5_BAND_FREQUENCIES["medium"],
+                        FIG5_BAND_FREQUENCIES["high"])
+    QueueChirper(testbed.sim, testbed.topo.switches["s1"], port,
+                 testbed.agents["s1"], tones)
+    burst = OnOffSource(testbed.topo.hosts["h1"], "10.0.0.2", 80,
+                        rate_pps=500, on_duration=1.5, off_duration=20.0,
+                        start=1.0)
+    burst.launch()
+    testbed.sim.run(8.0)
+    return testbed.controller.microphone.record(testbed.channel, 0.0, 8.0)
+
+
+def _render_fan():
+    """A datacenter server dying at t = 4 s (the §7 soundscape)."""
+    from .fans import Server, datacenter_scene
+
+    server = Server("target")
+    server.fail_all(4.0)
+    scene = datacenter_scene(duration=8.0, server=server)
+    return scene.capture(0.0, 8.0)
+
+
+def _render_song():
+    """Ten seconds of the Cheap-Thrills-substitute interferer."""
+    from .audio import SongNoise
+
+    return SongNoise(seed=2018, level_db=60.0).render(10.0)
+
+
+RENDERS: dict[str, tuple[str, Callable[[], object]]] = {
+    "knock": ("the three-tone port-knock melody (§4)", _render_knock),
+    "chirps": ("queue-band chirps 500/600/700 Hz (§6)", _render_chirps),
+    "fan": ("a datacenter server dying at t=4 s (§7)", _render_fan),
+    "song": ("the pop-song interferer used in Fig 4b/4d", _render_song),
+}
+
+
+def run_render(args: argparse.Namespace) -> None:
+    from .audio.wav import write_wav
+
+    _description, renderer = RENDERS[args.scene]
+    signal = renderer()
+    path = write_wav(signal, args.output)
+    print(f"wrote {signal.duration:.1f} s of audio to {path} "
+          f"({path.stat().st_size} bytes) — have a listen.")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Music-Defined Networking reproduction driver",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list runnable experiments")
+
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure/study to regenerate",
+    )
+    run_parser.add_argument("--song", action="store_true",
+                            help="add the pop-song interferer (fig4*)")
+    run_parser.add_argument("--noise", action="store_true",
+                            help="add background noise (fig2a)")
+    run_parser.add_argument("--switches", type=int, default=5,
+                            help="switch count for fig2a")
+    run_parser.add_argument("--samples", type=int, default=1000,
+                            help="sample count for fig2b")
+
+    render_parser = subparsers.add_parser(
+        "render", help="write experiment audio to a WAV file"
+    )
+    render_parser.add_argument("scene", choices=sorted(RENDERS),
+                               help="which soundscape to render")
+    render_parser.add_argument("output", help="output .wav path")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (description, _runner) in sorted(EXPERIMENTS.items()):
+            print(f"  {name:<8} {description}")
+        print("renderable soundscapes (repro render <scene> <out.wav>):")
+        for name, (description, _renderer) in sorted(RENDERS.items()):
+            print(f"  {name:<8} {description}")
+        return 0
+    if args.command == "render":
+        run_render(args)
+        return 0
+    targets = (sorted(EXPERIMENTS) if args.experiment == "all"
+               else [args.experiment])
+    for name in targets:
+        EXPERIMENTS[name][1](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

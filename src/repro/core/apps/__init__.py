@@ -1,0 +1,97 @@
+"""The six Music-Defined Networking applications from the paper."""
+
+from .discovery import BOOT_TUNE, BootAnnouncer, BootAnnouncement, DiscoveryApp
+from .fan_watchdog import (
+    FanAlert,
+    FanWatchdog,
+    amplitude_difference,
+    log_amplitude_difference,
+    signature_bins,
+)
+from .heavy_hitter import (
+    FlowToneMapper,
+    HeavyHitterAlert,
+    HeavyHitterDetectorApp,
+    HeavyHitterEmitter,
+)
+from .liveness import (
+    HeartbeatChirper,
+    LivenessAlert,
+    LivenessMonitorApp,
+    build_liveness_mesh,
+)
+from .load_balancer import LoadBalancerApp, SplitRule
+from .melody_auth import Melody, MelodyAuthenticator
+from .port_knocking import KnockConfig, KnockEmitter, PortKnockingApp
+from .port_scan import (
+    PortScanDetectorApp,
+    PortScanEmitter,
+    PortToneMapper,
+    ScanAlert,
+)
+from .rate_control import RateControlApp, RateControlPolicy
+from .secure_chirp import (
+    RollingCode,
+    SecureQueueChirper,
+    SecureQueueMonitorApp,
+)
+from .superspreader import (
+    AddressToneMapper,
+    ChordEmitter,
+    SpreaderAlert,
+    SuperspreaderDetectorApp,
+    VictimAlert,
+)
+from .queue_monitor import (
+    CHIRP_PERIOD,
+    FIG5_BAND_FREQUENCIES,
+    BandToneMap,
+    QueueChirper,
+    QueueMonitorApp,
+)
+
+__all__ = [
+    "AddressToneMapper",
+    "BOOT_TUNE",
+    "BootAnnouncer",
+    "BootAnnouncement",
+    "BandToneMap",
+    "ChordEmitter",
+    "CHIRP_PERIOD",
+    "DiscoveryApp",
+    "FIG5_BAND_FREQUENCIES",
+    "FanAlert",
+    "FanWatchdog",
+    "FlowToneMapper",
+    "HeavyHitterAlert",
+    "HeavyHitterDetectorApp",
+    "HeavyHitterEmitter",
+    "HeartbeatChirper",
+    "LivenessAlert",
+    "LivenessMonitorApp",
+    "KnockConfig",
+    "KnockEmitter",
+    "LoadBalancerApp",
+    "Melody",
+    "MelodyAuthenticator",
+    "PortKnockingApp",
+    "PortScanDetectorApp",
+    "PortScanEmitter",
+    "PortToneMapper",
+    "QueueChirper",
+    "RateControlApp",
+    "RollingCode",
+    "RateControlPolicy",
+    "QueueMonitorApp",
+    "ScanAlert",
+    "SecureQueueChirper",
+    "SecureQueueMonitorApp",
+    "SplitRule",
+    "SpreaderAlert",
+    "SuperspreaderDetectorApp",
+    "VictimAlert",
+    "amplitude_difference",
+    "build_liveness_mesh",
+    "log_amplitude_difference",
+    "signature_bins",
+]

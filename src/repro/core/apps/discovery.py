@@ -1,0 +1,132 @@
+"""Acoustic device discovery: hearing a device boot.
+
+Section 1's management-task list starts with "simple device booting,
+restart or configuration".  In an MDN deployment the natural boot
+announcement is a melody: every device class is assigned a short boot
+tune; when a box comes up, its agent plays the tune, and the discovery
+app registers the device — acoustic plug-and-play, no DHCP snooping,
+no LLDP, no management VLAN.
+
+The tune encodes two things:
+
+* *which class* of device booted (the melody's note pattern, shared by
+  the class), and
+* *which instance* (the device's own frequency block the notes are
+  drawn from — the same disjoint-block identity the rest of MDN uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...net.sim import Simulator
+from ..agent import MusicAgent
+from ..controller import MDNController
+from ..frequency_plan import Allocation
+
+#: The boot tune: note indices into the device's block, played in
+#: order.  Three notes keep the announcement under half a second.
+BOOT_TUNE = (0, 2, 1)
+
+
+@dataclass(frozen=True)
+class BootAnnouncement:
+    """A registered device boot."""
+
+    device: str
+    time: float
+
+
+class BootAnnouncer:
+    """Device-side half: plays the boot tune once at start-up."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        agent: MusicAgent,
+        allocation: Allocation,
+        boot_time: float = 0.0,
+        note_duration: float = 0.12,
+        note_gap: float = 0.08,
+        level_db: float = 70.0,
+    ) -> None:
+        if len(allocation) < max(BOOT_TUNE) + 1:
+            raise ValueError(
+                f"allocation too small for the boot tune: need "
+                f"{max(BOOT_TUNE) + 1} notes, have {len(allocation)}"
+            )
+        self.agent = agent
+        self.allocation = allocation
+        period = note_duration + note_gap
+        for index, note in enumerate(BOOT_TUNE):
+            sim.schedule_at(
+                boot_time + index * period,
+                lambda n=note: agent.play(
+                    allocation.frequency_for(n), note_duration, level_db
+                ),
+            )
+
+
+class DiscoveryApp:
+    """Controller-side half: a registry fed by boot tunes.
+
+    Parameters
+    ----------
+    devices:
+        ``{device_name: allocation}`` for every device that *might*
+        appear; discovery confirms which ones actually did (and when).
+    window:
+        Maximum seconds between a tune's first and last note.
+    """
+
+    def __init__(
+        self,
+        controller: MDNController,
+        devices: dict[str, Allocation],
+        window: float = 2.0,
+    ) -> None:
+        if not devices:
+            raise ValueError("need at least one candidate device")
+        self.controller = controller
+        self.devices = dict(devices)
+        self.window = window
+        self.registry: dict[str, BootAnnouncement] = {}
+        #: device -> (progress index, first-note time).
+        self._progress: dict[str, tuple[int, float]] = {}
+        self._note_of: dict[float, tuple[str, int]] = {}
+        for name, allocation in devices.items():
+            for note in set(BOOT_TUNE):
+                frequency = allocation.frequency_for(note)
+                if frequency in self._note_of:
+                    raise ValueError(
+                        f"devices {self._note_of[frequency][0]!r} and "
+                        f"{name!r} share frequency {frequency}"
+                    )
+                self._note_of[frequency] = (name, note)
+        controller.watch(sorted(self._note_of), on_onset=self._on_tone)
+
+    def _on_tone(self, event) -> None:
+        device, note = self._note_of[event.frequency]
+        if device in self.registry:
+            return
+        expected_index, started = self._progress.get(device, (0, event.time))
+        if note != BOOT_TUNE[expected_index] or \
+                event.time - started > self.window:
+            # Restart matching: this note may itself be a first note.
+            if note == BOOT_TUNE[0]:
+                self._progress[device] = (1, event.time)
+            else:
+                self._progress.pop(device, None)
+            return
+        expected_index += 1
+        if expected_index == len(BOOT_TUNE):
+            self.registry[device] = BootAnnouncement(device, event.time)
+            self._progress.pop(device, None)
+        else:
+            self._progress[device] = (expected_index, started)
+
+    def discovered(self) -> list[str]:
+        return sorted(self.registry)
+
+    def is_discovered(self, device: str) -> bool:
+        return device in self.registry

@@ -1,0 +1,184 @@
+"""Acoustic liveness monitoring: hearing that a device is still there.
+
+Section 1 lists "simple device booting, restart or configuration" and
+diagnostics among the management tasks an out-of-band channel should
+carry, and §7's UPS anecdote shows why knowing a box's true power state
+matters.  This app is the *active* counterpart of the fan watchdog:
+each monitored device chirps a per-device heartbeat tone on a fixed
+period; the controller tracks arrivals and raises an alert when a
+device misses ``miss_threshold`` consecutive beats — a crash, power
+loss or speaker failure, detected with zero packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...net.sim import PeriodicTimer, Simulator
+from ..agent import MusicAgent
+from ..controller import MDNController
+from ..frequency_plan import FrequencyPlan
+
+
+class HeartbeatChirper:
+    """Device-side half: one tone every ``period`` seconds."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        agent: MusicAgent,
+        frequency: float,
+        period: float = 1.0,
+        tone_duration: float = 0.08,
+        tone_level_db: float = 68.0,
+        phase: float = 0.0,
+    ) -> None:
+        """``phase`` offsets the first beat within the period; a mesh
+        staggers its devices' phases so beats do not all land in one
+        capture window (short simultaneous tones at tight spacing merge
+        spectrally — see DESIGN.md §5 on envelopes)."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= phase < period:
+            raise ValueError(f"phase must be in [0, period), got {phase}")
+        self.sim = sim
+        self.agent = agent
+        self.frequency = frequency
+        self.period = period
+        self.tone_duration = tone_duration
+        self.tone_level_db = tone_level_db
+        self.alive = True
+        self.beats_emitted = 0
+        self._timer: PeriodicTimer = sim.every(
+            period, self._beat, start=sim.now + period / 2 + phase
+        )
+
+    def _beat(self) -> None:
+        if not self.alive:
+            return
+        self.beats_emitted += 1
+        self.agent.play(self.frequency, self.tone_duration,
+                        self.tone_level_db)
+
+    def kill(self) -> None:
+        """The device dies: no more chirps (the failure under test)."""
+        self.alive = False
+
+    def revive(self) -> None:
+        self.alive = True
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+
+@dataclass(frozen=True)
+class LivenessAlert:
+    """A monitored device declared down."""
+
+    device: str
+    time: float
+    last_heard: float
+    missed_beats: int
+
+
+class LivenessMonitorApp:
+    """Controller-side half: per-device beat tracking.
+
+    Parameters
+    ----------
+    devices:
+        ``{device_name: heartbeat_frequency}``.
+    period:
+        The agreed heartbeat period.
+    miss_threshold:
+        Consecutive missed beats before the device is declared down
+        (2 tolerates one lost window; the paper's channel is lossy air).
+    """
+
+    def __init__(
+        self,
+        controller: MDNController,
+        devices: dict[str, float],
+        period: float = 1.0,
+        miss_threshold: int = 2,
+    ) -> None:
+        if not devices:
+            raise ValueError("need at least one device")
+        if miss_threshold < 1:
+            raise ValueError("miss_threshold must be >= 1")
+        self.controller = controller
+        self.devices = dict(devices)
+        self.period = period
+        self.miss_threshold = miss_threshold
+        self._frequency_to_device = {
+            frequency: name for name, frequency in devices.items()
+        }
+        if len(self._frequency_to_device) != len(devices):
+            raise ValueError("device frequencies must be unique")
+        self.last_heard: dict[str, float] = {}
+        self.down: dict[str, LivenessAlert] = {}
+        self.alerts: list[LivenessAlert] = []
+        controller.watch(list(devices.values()), on_onset=self._on_beat)
+        controller.on_window(self._on_window)
+
+    def _on_beat(self, event) -> None:
+        device = self._frequency_to_device[event.frequency]
+        self.last_heard[device] = event.time
+        if device in self.down:
+            # Device came back: clear the down state (the alert stays
+            # in the history).
+            del self.down[device]
+
+    def _on_window(self, events, time: float) -> None:
+        deadline = self.period * self.miss_threshold + self.period / 2
+        for device in sorted(self.devices):
+            if device in self.down:
+                continue
+            heard = self.last_heard.get(device)
+            if heard is None:
+                # Grace period from monitor start.
+                heard = -self.period / 2
+                reference = heard
+            else:
+                reference = heard
+            silence = time - reference
+            if silence > deadline:
+                missed = int(silence / self.period)
+                alert = LivenessAlert(device, time, reference, missed)
+                self.down[device] = alert
+                self.alerts.append(alert)
+
+    def is_down(self, device: str) -> bool:
+        return device in self.down
+
+    def devices_down(self) -> list[str]:
+        return sorted(self.down)
+
+
+def build_liveness_mesh(
+    controller: MDNController,
+    agents: dict[str, MusicAgent],
+    plan: FrequencyPlan,
+    period: float = 1.0,
+    miss_threshold: int = 2,
+) -> tuple[dict[str, HeartbeatChirper], LivenessMonitorApp]:
+    """Give every agent a heartbeat frequency and wire the monitor.
+
+    Returns ``(chirpers_by_device, monitor)``.  Call before
+    ``controller.start()``.
+    """
+    devices: dict[str, float] = {}
+    chirpers: dict[str, HeartbeatChirper] = {}
+    names = sorted(agents)
+    for index, name in enumerate(names):
+        # Two-slot blocks double the effective spacing: short heartbeat
+        # tones need more than the plan's base guard to coexist.
+        allocation = plan.allocate(f"liveness/{name}", 2)
+        frequency = allocation.frequency_for(0)
+        devices[name] = frequency
+        chirpers[name] = HeartbeatChirper(
+            controller.sim, agents[name], frequency, period,
+            phase=(index * period) / max(len(names), 1) % period,
+        )
+    monitor = LivenessMonitorApp(controller, devices, period, miss_threshold)
+    return chirpers, monitor

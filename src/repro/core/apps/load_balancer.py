@@ -1,0 +1,93 @@
+"""Music-defined load balancing: Section 6, Figure 5a–b.
+
+Four switches in a rhombus, traffic ramping up over the single (top)
+path.  Each switch chirps its queue band every 300 ms.  "When the MDN
+controller application hears a sound associated with an overloaded
+switch ... it sends an OpenFlow flow-MOD message so that the source
+traffic gets split across two ports, balancing the traffic load across
+the two different available routes."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...net.controlplane import FlowMod
+from ...net.flowtable import Action, Match
+from ..controller import MDNController
+from .queue_monitor import BandToneMap
+
+
+@dataclass
+class SplitRule:
+    """What to install when a switch reports congestion."""
+
+    switch_name: str
+    match: Match
+    ports: list[int]
+    priority: int = 100
+
+
+class LoadBalancerApp:
+    """Controller-side half: congestion tone → traffic split.
+
+    Parameters
+    ----------
+    controller:
+        The listening MDN controller (must hold a control channel).
+    tones_by_switch:
+        Each monitored switch's band→frequency map.
+    rules_by_switch:
+        The split FlowMod to install when that switch congests.
+    """
+
+    def __init__(
+        self,
+        controller: MDNController,
+        tones_by_switch: dict[str, BandToneMap],
+        rules_by_switch: dict[str, SplitRule],
+    ) -> None:
+        unknown = set(rules_by_switch) - set(tones_by_switch)
+        if unknown:
+            raise ValueError(f"rules for unmonitored switches: {sorted(unknown)}")
+        self.controller = controller
+        self.tones_by_switch = tones_by_switch
+        self.rules_by_switch = rules_by_switch
+        #: switch → time the split was installed.
+        self.rebalanced_at: dict[str, float] = {}
+        #: (time, switch, band) log of every band tone heard.
+        self.tone_log: list[tuple[float, str, str]] = []
+        for switch_name, tones in tones_by_switch.items():
+            controller.watch(
+                tones.frequencies(),
+                on_detection=self._make_handler(switch_name, tones),
+            )
+
+    def _make_handler(self, switch_name: str, tones: BandToneMap):
+        def handle(event) -> None:
+            band = tones.band_of(event.frequency)
+            self.tone_log.append((event.time, switch_name, band))
+            if band == "high":
+                self._rebalance(switch_name, event.time)
+
+        return handle
+
+    def _rebalance(self, switch_name: str, time: float) -> None:
+        if switch_name in self.rebalanced_at:
+            return  # split already installed
+        rule = self.rules_by_switch.get(switch_name)
+        if rule is None:
+            return  # monitored but no action configured
+        self.controller.send_flow_mod(
+            rule.switch_name,
+            FlowMod(
+                match=rule.match,
+                action=Action.split(rule.ports),
+                priority=rule.priority,
+            ),
+        )
+        self.rebalanced_at[switch_name] = time
+
+    @property
+    def any_rebalanced(self) -> bool:
+        return bool(self.rebalanced_at)

@@ -1,0 +1,119 @@
+"""Melody authentication: port knocking with rhythm.
+
+Section 4 frames sound sequences as "an (additional) out-of-band
+authentication mechanism" and notes that any finite state machine can
+be driven by tones.  The basic port-knocking app accepts the right
+notes in the right order *whenever* they arrive; a melody also has
+**timing**.  :class:`MelodyAuthenticator` enforces it: each successive
+note must arrive within ``max_gap`` seconds of the previous one, or the
+attempt resets — which defeats the slow brute-force where an attacker
+sprays one knock per hour until the sequence happens to line up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..controller import MDNController
+from ..frequency_plan import Allocation
+from ..fsm import StateMachine, sequence_machine
+
+
+@dataclass(frozen=True)
+class Melody:
+    """The shared secret: an ordered tone sequence with a tempo bound.
+
+    Attributes
+    ----------
+    notes:
+        Indices into the allocation (the tune, e.g. ``(0, 2, 1, 3)``).
+    allocation:
+        The frequency block the notes come from.
+    max_gap:
+        Maximum seconds between consecutive notes.
+    """
+
+    notes: tuple[int, ...]
+    allocation: Allocation
+    max_gap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if len(self.notes) < 2:
+            raise ValueError("a melody needs at least two notes")
+        if self.max_gap <= 0:
+            raise ValueError("max_gap must be positive")
+        for note in self.notes:
+            if not 0 <= note < len(self.allocation):
+                raise ValueError(f"note {note} outside the allocation")
+
+    def frequencies(self) -> list[float]:
+        """The distinct frequencies the melody uses."""
+        return sorted({
+            self.allocation.frequency_for(note) for note in self.notes
+        })
+
+    def frequency_of(self, note: int) -> float:
+        return self.allocation.frequency_for(note)
+
+
+class MelodyAuthenticator:
+    """Controller-side listener accepting one timed melody.
+
+    On acceptance, ``on_accept(time)`` fires once; the machine then
+    latches until :meth:`reset`.
+    """
+
+    def __init__(
+        self,
+        controller: MDNController,
+        melody: Melody,
+        on_accept=None,
+        refractory: float = 0.25,
+    ) -> None:
+        self.controller = controller
+        self.melody = melody
+        self.on_accept = on_accept
+        self.refractory = refractory
+        self.machine: StateMachine = sequence_machine(list(melody.notes))
+        self.accepted_at: float | None = None
+        self.attempt_log: list[tuple[float, int]] = []
+        self.timeouts = 0
+        self._last_note_time: float | None = None
+        self._last_event: tuple[float, float] | None = None
+        self._note_of_frequency = {
+            melody.frequency_of(note): note for note in set(melody.notes)
+        }
+        controller.watch(melody.frequencies(), on_onset=self._on_tone)
+
+    @property
+    def accepted(self) -> bool:
+        return self.accepted_at is not None
+
+    def reset(self) -> None:
+        """Re-arm after an acceptance (or administratively)."""
+        self.machine.reset()
+        self.accepted_at = None
+        self._last_note_time = None
+
+    def _on_tone(self, event) -> None:
+        if self.accepted:
+            return
+        # Debounce: one physical tone spanning windows, or echoes.
+        if (self._last_event is not None
+                and event.frequency == self._last_event[1]
+                and event.time - self._last_event[0] < self.refractory):
+            return
+        self._last_event = (event.time, event.frequency)
+
+        note = self._note_of_frequency[event.frequency]
+        if (self._last_note_time is not None
+                and event.time - self._last_note_time > self.melody.max_gap):
+            self.timeouts += 1
+            self.machine.reset()
+        self._last_note_time = event.time
+        self.attempt_log.append((event.time, note))
+        self.machine.feed(note)
+        if self.machine.accepted:
+            self.accepted_at = event.time
+            if self.on_accept is not None:
+                self.on_accept(event.time)

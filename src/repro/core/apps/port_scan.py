@@ -1,0 +1,157 @@
+"""Port-scan detection by ear: Section 5, Figure 4c–d.
+
+Switch side: "when hit by a packet, the switch plays a sound whose
+frequency is based on the destination port number."  The mapping is
+linear over a monitored port range, so a sequential scan sweeps the
+band upward — "the port scan can be identified by a clear logarithmic
+line on the Mel-scaled spectrogram" (log only because of the mel axis).
+
+Controller side: counting *distinct* frequencies per interval.  Normal
+traffic touches a handful of service ports; a scan touches many ports
+in quick succession, so the distinct count explodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...net.packet import Packet
+from ...net.switch import Switch
+from ..agent import MusicAgent
+from ..controller import MDNController
+from ..frequency_plan import Allocation
+from ..telemetry import IntervalCounts, ToneCounter
+
+
+class PortToneMapper:
+    """Linear port→frequency mapping over a monitored range.
+
+    Port ``port_range[i]`` sounds at ``allocation.frequency_for(i)``.
+    Ports outside the range are silent (unmonitored).
+    """
+
+    def __init__(self, allocation: Allocation, port_range: range) -> None:
+        if len(port_range) == 0:
+            raise ValueError("port_range must not be empty")
+        if len(allocation) < len(port_range):
+            raise ValueError(
+                f"allocation has {len(allocation)} frequencies for "
+                f"{len(port_range)} ports"
+            )
+        self.allocation = allocation
+        self.port_range = port_range
+
+    def frequency_of(self, port: int) -> float | None:
+        """The tone for a destination port (None if unmonitored)."""
+        if port not in self.port_range:
+            return None
+        return self.allocation.frequency_for(self.port_range.index(port))
+
+    def port_of(self, frequency: float) -> int:
+        return self.port_range[self.allocation.index_of(frequency)]
+
+    def monitored_frequencies(self) -> list[float]:
+        return [
+            self.allocation.frequency_for(index)
+            for index in range(len(self.port_range))
+        ]
+
+
+class PortScanEmitter:
+    """Switch-side half: a tone per packet, keyed by destination port."""
+
+    def __init__(
+        self,
+        switch: Switch,
+        agent: MusicAgent,
+        mapper: PortToneMapper,
+        refractory: float = 0.04,
+        tone_duration: float = 0.04,
+        tone_level_db: float = 70.0,
+    ) -> None:
+        self.switch = switch
+        self.agent = agent
+        self.mapper = mapper
+        self.refractory = refractory
+        self.tone_duration = tone_duration
+        self.tone_level_db = tone_level_db
+        self._last_emission: dict[float, float] = {}
+        switch.on_receive(self._on_packet)
+
+    def _on_packet(self, packet: Packet, in_port: int) -> None:
+        frequency = self.mapper.frequency_of(packet.flow.dst_port)
+        if frequency is None:
+            return
+        now = self.switch.sim.now
+        last = self._last_emission.get(frequency)
+        if last is not None and now - last < self.refractory:
+            return
+        self._last_emission[frequency] = now
+        self.agent.play(frequency, self.tone_duration, self.tone_level_db)
+
+
+@dataclass(frozen=True)
+class ScanAlert:
+    """An interval whose distinct-port fan-out crossed the threshold."""
+
+    interval_start: float
+    distinct_ports: int
+
+
+class PortScanDetectorApp:
+    """Controller-side half: distinct-frequency counting per interval.
+
+    Parameters
+    ----------
+    interval:
+        Measurement interval, seconds.
+    distinct_threshold:
+        More than this many distinct monitored ports heard within one
+        interval raises a :class:`ScanAlert`.  Benign traffic to a few
+        services stays far below it.
+    """
+
+    def __init__(
+        self,
+        controller: MDNController,
+        mapper: PortToneMapper,
+        interval: float = 1.0,
+        distinct_threshold: int = 5,
+    ) -> None:
+        self.controller = controller
+        self.mapper = mapper
+        self.interval = interval
+        self.distinct_threshold = distinct_threshold
+        self.counter = ToneCounter(interval)
+        self.alerts: list[ScanAlert] = []
+        self._alerted_intervals: set[float] = set()
+        controller.watch(
+            mapper.monitored_frequencies(), on_onset=self.counter.observe
+        )
+        controller.on_window(self._on_window)
+
+    def _on_window(self, events, time: float) -> None:
+        self.counter.flush(time)
+        for interval in self.counter.intervals_with_distinct_over(
+            self.distinct_threshold
+        ):
+            if interval.start not in self._alerted_intervals:
+                self._alerted_intervals.add(interval.start)
+                self.alerts.append(ScanAlert(interval.start, interval.distinct))
+
+    @property
+    def scan_detected(self) -> bool:
+        return bool(self.alerts)
+
+    def ports_heard(self) -> list[int]:
+        """Every monitored port heard at least once, ordered by the
+        interval it first appeared in (ties broken by port number) —
+        for an ascending sequential scan this reproduces the sweep."""
+        seen: list[int] = []
+        intervals: list[IntervalCounts] = self.counter.closed
+        for interval in intervals:
+            for frequency in sorted(interval.counts):
+                port = self.mapper.port_of(frequency)
+                if port not in seen:
+                    seen.append(port)
+        return seen

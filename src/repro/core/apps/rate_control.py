@@ -1,0 +1,134 @@
+"""Acoustic in-network congestion control: closing the §6 loop.
+
+"This in turn can be used to drive in-network flow or congestion
+control decisions, without waiting for source reactions, without having
+to modify the transport protocol, as in DataCenter TCP (DCTCP), and
+without using the less efficient Explicit Congestion Notification (ECN)
+mechanism of TCP."
+
+:class:`RateControlApp` is that decision-maker.  It listens to a
+switch's queue-band chirps (the same 500/600/700 Hz tones as the
+monitoring app) and drives a token-bucket policer on the congested
+entry:
+
+* hear the **high** tone → install (or tighten) a metered rule capping
+  the aggressor traffic below the egress service rate, so the queue
+  drains;
+* hear the **low** tone for ``release_after`` consecutive chirps →
+  remove the meter, restoring full rate.
+
+The data plane is never consulted — the entire control loop rides on
+sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...net.controlplane import FlowMod, FlowModCommand
+from ...net.flowtable import Action, Match
+from ..controller import MDNController
+from .queue_monitor import BandToneMap
+
+
+@dataclass
+class RateControlPolicy:
+    """What to install when the watched switch congests.
+
+    Attributes
+    ----------
+    switch_name:
+        Where the meter goes.
+    match:
+        The traffic aggregate to police.
+    forward_port:
+        The action the metered entry keeps forwarding to.
+    limit_pps:
+        Policing rate while congested — set below the egress service
+        rate so the queue actually drains.
+    priority:
+        Entry priority (must beat the unmetered route).
+    """
+
+    switch_name: str
+    match: Match
+    forward_port: int
+    limit_pps: float
+    priority: int = 100
+
+
+class RateControlApp:
+    """Sound-driven in-network rate limiting."""
+
+    def __init__(
+        self,
+        controller: MDNController,
+        tones: BandToneMap,
+        policy: RateControlPolicy,
+        release_after: int = 5,
+        meter_burst: float = 10.0,
+        on_install=None,
+        on_release=None,
+    ) -> None:
+        """``on_install(time)`` / ``on_release(time)`` fire when the
+        meter goes in or comes out (for logging, alerting, or sending
+        an acoustic report)."""
+        if release_after < 1:
+            raise ValueError("release_after must be >= 1")
+        self.controller = controller
+        self.tones = tones
+        self.policy = policy
+        self.release_after = release_after
+        self.meter_burst = meter_burst
+        self.on_install = on_install
+        self.on_release = on_release
+        self.metered = False
+        self.installed_at: list[float] = []
+        self.released_at: list[float] = []
+        self._consecutive_low = 0
+        controller.watch(tones.frequencies(), on_detection=self._on_tone)
+
+    def _on_tone(self, event) -> None:
+        band = self.tones.band_of(event.frequency)
+        if band == "high":
+            self._consecutive_low = 0
+            if not self.metered:
+                self._install(event.time)
+        elif band == "low":
+            self._consecutive_low += 1
+            if self.metered and self._consecutive_low >= self.release_after:
+                self._release(event.time)
+        else:
+            self._consecutive_low = 0
+
+    def _install(self, time: float) -> None:
+        self.controller.send_flow_mod(
+            self.policy.switch_name,
+            FlowMod(
+                match=self.policy.match,
+                action=Action.forward(self.policy.forward_port),
+                priority=self.policy.priority,
+                meter_rate_pps=self.policy.limit_pps,
+                meter_burst=self.meter_burst,
+            ),
+        )
+        self.metered = True
+        self.installed_at.append(time)
+        if self.on_install is not None:
+            self.on_install(time)
+
+    def _release(self, time: float) -> None:
+        self.controller.send_flow_mod(
+            self.policy.switch_name,
+            FlowMod(
+                match=self.policy.match,
+                priority=self.policy.priority,
+                command=FlowModCommand.DELETE,
+                strict=True,  # never touch the base route
+            ),
+        )
+        self.metered = False
+        self._consecutive_low = 0
+        self.released_at.append(time)
+        if self.on_release is not None:
+            self.on_release(time)

@@ -1,0 +1,224 @@
+"""Authenticated chirps: defending against tone spoofing.
+
+Section 2 surveys "acoustic insecurity" — sounds injected to "trigger
+unexpected and unwanted behavior".  MDN's control tones are exactly
+such a surface: anyone with a speaker can play a switch's congestion
+tone and make the controller install a Flow-MOD (demonstrated in
+``tests/integration/test_tone_spoofing.py``).
+
+The defense here is a **rolling code**: every chirp is a two-tone
+chord — the band tone plus a *code tone* drawn from the switch's code
+block by a keyed pseudo-random sequence both ends share.  An attacker
+who can replay yesterday's chord, or who knows the band tones, still
+cannot predict which code tone validates the *next* chirp; the
+controller rejects band tones arriving without the expected code.
+
+The code advances once per accepted chirp (with a small look-ahead
+window to ride out lost chirps), so replaying a captured chord fails
+as soon as the legitimate switch has chirped again.
+
+**Security level**: a blind guess validates with probability
+``lookahead / len(code_block)`` per attempt (the code tone is one of
+``len(code_block)`` frequencies and any of ``lookahead`` counter
+positions is accepted).  A 16-tone block at lookahead 2 gives 1/8 per
+attempt — proportionate for a rate-limited physical channel where each
+attempt costs ~100 ms of audible tone; deployments wanting more bits
+per chirp can run two code agents (a three-tone chord squares the
+space).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ...net.queueing import QueueBands
+from ...net.stats import TimeSeries
+from ...net.switch import Switch
+from ..agent import MusicAgent
+from ..controller import MDNController
+from ..frequency_plan import Allocation
+from .queue_monitor import BandToneMap, CHIRP_PERIOD
+
+
+def _code_index(key: bytes, counter: int, band: str, size: int) -> int:
+    digest = hashlib.blake2b(
+        key + counter.to_bytes(8, "big") + band.encode(), digest_size=4
+    ).digest()
+    return int.from_bytes(digest, "big") % size
+
+
+class RollingCode:
+    """A keyed code-tone sequence over an allocation block.
+
+    The code tone is a MAC over ``(key, counter, band)``: it
+    authenticates not just "a chirp happened" but *which band value*
+    was chirped — so an attacker cannot splice their own band tone onto
+    a legitimate code tone caught in the same capture window.
+    """
+
+    def __init__(self, key: bytes, code_block: Allocation) -> None:
+        if len(code_block) < 2:
+            raise ValueError("code block needs at least 2 frequencies")
+        if not key:
+            raise ValueError("key must not be empty")
+        self.key = key
+        self.code_block = code_block
+        self.counter = 0
+
+    def current_frequency(self, band: str, offset: int = 0) -> float:
+        """The code tone authenticating ``band`` at the current (or a
+        look-ahead) counter."""
+        index = _code_index(self.key, self.counter + offset, band,
+                            len(self.code_block))
+        return self.code_block.frequency_for(index)
+
+    def advance(self, steps: int = 1) -> None:
+        self.counter += steps
+
+
+class SecureQueueChirper:
+    """Switch-side half: every chirp is (band tone, code tone).
+
+    Needs two speakers (a chord), like the superspreader emitter.
+    """
+
+    def __init__(
+        self,
+        sim,
+        switch: Switch,
+        port: int,
+        band_agent: MusicAgent,
+        code_agent: MusicAgent,
+        tones: BandToneMap,
+        code: RollingCode,
+        bands: QueueBands | None = None,
+        period: float = CHIRP_PERIOD,
+        tone_duration: float = 0.08,
+        tone_level_db: float = 70.0,
+    ) -> None:
+        if band_agent is code_agent:
+            raise ValueError("the chord needs two independent speakers")
+        self.switch = switch
+        self.port = port
+        self.band_agent = band_agent
+        self.code_agent = code_agent
+        self.tones = tones
+        self.code = code
+        self.bands = bands or QueueBands()
+        self.tone_duration = tone_duration
+        self.tone_level_db = tone_level_db
+        self.queue_series = TimeSeries(f"{switch.name}.queue")
+        self._timer = sim.every(period, self._chirp)
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    def _chirp(self) -> None:
+        now = self.switch.sim.now
+        length = self.switch.egress_queue(self.port).sample(now)
+        self.queue_series.record(now, length)
+        band = self.bands.classify(length)
+        played_band = self.band_agent.play(
+            self.tones.frequency_of(band), self.tone_duration,
+            self.tone_level_db,
+        )
+        played_code = self.code_agent.play(
+            self.code.current_frequency(band), self.tone_duration,
+            self.tone_level_db,
+        )
+        if played_band and played_code:
+            self.code.advance()
+
+
+class SecureQueueMonitorApp:
+    """Controller-side half: band tones only count when chaperoned by
+    the expected code tone in the same capture window.
+
+    Parameters
+    ----------
+    code:
+        The shared rolling code (same key + block as the switch's).
+    lookahead:
+        How many future code positions are acceptable, to resynchronize
+        after lost chirps.
+    resync_after:
+        After this many consecutive rejections, assume the counter has
+        drifted past the lookahead (a burst of lost chirps) and scan
+        ``resync_scan`` positions ahead once to re-lock.  The wider
+        window momentarily raises the guess probability — which is why
+        it only opens after a sustained outage, and snaps shut on the
+        first accepted chirp.
+    """
+
+    def __init__(
+        self,
+        controller: MDNController,
+        switch_name: str,
+        tones: BandToneMap,
+        code: RollingCode,
+        lookahead: int = 2,
+        resync_after: int = 5,
+        resync_scan: int = 64,
+    ) -> None:
+        if lookahead < 1:
+            raise ValueError("lookahead must be >= 1")
+        if resync_after < 1 or resync_scan < lookahead:
+            raise ValueError("invalid resync parameters")
+        self.controller = controller
+        self.switch_name = switch_name
+        self.tones = tones
+        self.code = code
+        self.lookahead = lookahead
+        self.resync_after = resync_after
+        self.resync_scan = resync_scan
+        self.current_band: str | None = None
+        self.band_history: list[tuple[float, str]] = []
+        self.rejected_spoofs = 0
+        self.resyncs = 0
+        self._rejection_streak = 0
+        watched = sorted(
+            set(tones.frequencies()) | set(code.code_block.frequencies)
+        )
+        controller.watch(watched, on_detection=lambda event: None)
+        controller.on_window(self._on_window)
+
+    def _on_window(self, events, time: float) -> None:
+        band_events = [event for event in events
+                       if event.frequency in self.tones.frequencies()]
+        if not band_events:
+            return
+        code_frequencies = {
+            event.frequency for event in events
+            if event.frequency in self.code.code_block.frequencies
+        }
+        # A band tone is only accepted with a code tone that MACs that
+        # exact band value at an acceptable counter position.
+        window = self.lookahead
+        if self._rejection_streak >= self.resync_after:
+            window = self.resync_scan
+        accepted: tuple[str, int] | None = None
+        for event in band_events:
+            band = self.tones.band_of(event.frequency)
+            for offset in range(window):
+                expected = self.code.current_frequency(band, offset)
+                if expected in code_frequencies:
+                    accepted = (band, offset)
+                    break
+            if accepted is not None:
+                break
+        if accepted is None:
+            self.rejected_spoofs += len(band_events)
+            self._rejection_streak += 1
+            return
+        band, offset = accepted
+        if offset >= self.lookahead:
+            self.resyncs += 1
+        self._rejection_streak = 0
+        self.code.advance(offset + 1)
+        if band != self.current_band:
+            self.current_band = band
+            self.band_history.append((time, band))
+
+    @property
+    def is_congested(self) -> bool:
+        return self.current_band == "high"

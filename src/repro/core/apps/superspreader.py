@@ -1,0 +1,226 @@
+"""DDoS / k-superspreader detection: the open problem of Section 5.
+
+"A k-superspreader is a host that contacts more than k unique
+destinations during a time interval.  A DDoS victim is a host that is
+contacted by more than k unique sources.  By mapping destination
+addresses to frequencies, we can presumably detect k-superspreaders and
+hence a DDoS.  We leave that as an open problem."
+
+This module solves it with the most musical tool available: **chords**.
+For each observed (src, dst) pair the switch plays *two* tones
+simultaneously — the source address's tone from one frequency block and
+the destination address's tone from a second, disjoint block.  The
+controller correlates tones co-occurring in the same capture window:
+
+* a source tone co-heard with many *distinct* destination tones per
+  interval → that source contacts many destinations → superspreader;
+* a destination tone co-heard with many distinct source tones →
+  that host is being contacted by many sources → DDoS victim.
+
+Bucketing caveats are the same as for the heavy-hitter app: addresses
+hash into blocks of limited size, so very large attacks alias — which
+only makes them *easier* to spot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ...net.packet import Packet
+from ...net.switch import Switch
+from ..agent import MusicAgent
+from ..controller import MDNController
+from ..frequency_plan import Allocation
+
+
+def _address_bucket(address: str, size: int) -> int:
+    digest = hashlib.blake2b(address.encode(), digest_size=4).digest()
+    return int.from_bytes(digest, "big") % size
+
+
+class AddressToneMapper:
+    """Two disjoint blocks: one for source, one for destination
+    addresses."""
+
+    def __init__(self, src_block: Allocation, dst_block: Allocation) -> None:
+        if set(src_block.frequencies) & set(dst_block.frequencies):
+            raise ValueError("src and dst blocks must be disjoint")
+        self.src_block = src_block
+        self.dst_block = dst_block
+
+    def src_frequency(self, address: str) -> float:
+        return self.src_block.frequency_for(
+            _address_bucket(address, len(self.src_block))
+        )
+
+    def dst_frequency(self, address: str) -> float:
+        return self.dst_block.frequency_for(
+            _address_bucket(address, len(self.dst_block))
+        )
+
+    def all_frequencies(self) -> list[float]:
+        return sorted(
+            set(self.src_block.frequencies) | set(self.dst_block.frequencies)
+        )
+
+
+class ChordEmitter:
+    """Switch-side half: one (src, dst) chord per pair per period.
+
+    Needs a ``busy_policy="queue"`` agent or, better, two agents — but
+    since a chord is *one* scheduling decision, this emitter schedules
+    both tones directly at the same instant through two speakers (a
+    stereo Pi, so to speak): pass two agents.
+    """
+
+    def __init__(
+        self,
+        switch: Switch,
+        src_agent: MusicAgent,
+        dst_agent: MusicAgent,
+        mapper: AddressToneMapper,
+        emission_period: float = 0.15,
+        tone_duration: float = 0.08,
+        tone_level_db: float = 70.0,
+    ) -> None:
+        if src_agent is dst_agent:
+            raise ValueError("chord emission needs two independent speakers")
+        self.switch = switch
+        self.src_agent = src_agent
+        self.dst_agent = dst_agent
+        self.mapper = mapper
+        self.emission_period = emission_period
+        self.tone_duration = tone_duration
+        self.tone_level_db = tone_level_db
+        self._last_emission: dict[tuple[float, float], float] = {}
+        self.chords_played = 0
+        switch.on_receive(self._on_packet)
+
+    def _on_packet(self, packet: Packet, in_port: int) -> None:
+        chord = (
+            self.mapper.src_frequency(packet.flow.src_ip),
+            self.mapper.dst_frequency(packet.flow.dst_ip),
+        )
+        now = self.switch.sim.now
+        last = self._last_emission.get(chord)
+        if last is not None and now - last < self.emission_period:
+            return
+        self._last_emission[chord] = now
+        played_src = self.src_agent.play(chord[0], self.tone_duration,
+                                         self.tone_level_db)
+        played_dst = self.dst_agent.play(chord[1], self.tone_duration,
+                                         self.tone_level_db)
+        if played_src and played_dst:
+            self.chords_played += 1
+
+
+@dataclass(frozen=True)
+class SpreaderAlert:
+    """A source bucket contacting too many destination buckets."""
+
+    interval_start: float
+    src_frequency: float
+    distinct_destinations: int
+
+
+@dataclass(frozen=True)
+class VictimAlert:
+    """A destination bucket contacted by too many source buckets."""
+
+    interval_start: float
+    dst_frequency: float
+    distinct_sources: int
+
+
+class SuperspreaderDetectorApp:
+    """Controller-side half: chord correlation per interval.
+
+    Parameters
+    ----------
+    k:
+        The superspreader threshold: strictly more than ``k`` distinct
+        counterpart buckets within one interval raises the alert.
+    """
+
+    def __init__(
+        self,
+        controller: MDNController,
+        mapper: AddressToneMapper,
+        interval: float = 1.0,
+        k: int = 5,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.controller = controller
+        self.mapper = mapper
+        self.interval = interval
+        self.k = k
+        self.spreader_alerts: list[SpreaderAlert] = []
+        self.victim_alerts: list[VictimAlert] = []
+        self._interval_start: float | None = None
+        #: src tone -> set of dst tones co-heard this interval.
+        self._fanout: dict[float, set[float]] = {}
+        #: dst tone -> set of src tones co-heard this interval.
+        self._fanin: dict[float, set[float]] = {}
+        self._alerted_spreaders: set[tuple[float, float]] = set()
+        self._alerted_victims: set[tuple[float, float]] = set()
+        controller.watch(mapper.all_frequencies(),
+                         on_detection=lambda event: None)
+        controller.on_window(self._on_window)
+
+    def _on_window(self, events, time: float) -> None:
+        if self._interval_start is None:
+            self._interval_start = (time // self.interval) * self.interval
+        while time >= self._interval_start + self.interval:
+            self._close_interval()
+        src_set = set(self.mapper.src_block.frequencies)
+        dst_set = set(self.mapper.dst_block.frequencies)
+        sources = [e.frequency for e in events if e.frequency in src_set]
+        destinations = [e.frequency for e in events if e.frequency in dst_set]
+        # Every co-occurring (src, dst) tone pair is a candidate chord.
+        for src in sources:
+            self._fanout.setdefault(src, set()).update(destinations)
+        for dst in destinations:
+            self._fanin.setdefault(dst, set()).update(sources)
+
+    def _close_interval(self) -> None:
+        assert self._interval_start is not None
+        start = self._interval_start
+        for src, destinations in sorted(self._fanout.items()):
+            if len(destinations) > self.k:
+                key = (start, src)
+                if key not in self._alerted_spreaders:
+                    self._alerted_spreaders.add(key)
+                    self.spreader_alerts.append(
+                        SpreaderAlert(start, src, len(destinations))
+                    )
+        for dst, sources in sorted(self._fanin.items()):
+            if len(sources) > self.k:
+                key = (start, dst)
+                if key not in self._alerted_victims:
+                    self._alerted_victims.add(key)
+                    self.victim_alerts.append(
+                        VictimAlert(start, dst, len(sources))
+                    )
+        self._fanout = {}
+        self._fanin = {}
+        self._interval_start = start + self.interval
+
+    @property
+    def superspreader_detected(self) -> bool:
+        return bool(self.spreader_alerts)
+
+    @property
+    def ddos_detected(self) -> bool:
+        return bool(self.victim_alerts)
+
+    def is_source_flagged(self, address: str) -> bool:
+        frequency = self.mapper.src_frequency(address)
+        return any(alert.src_frequency == frequency
+                   for alert in self.spreader_alerts)
+
+    def is_victim_flagged(self, address: str) -> bool:
+        frequency = self.mapper.dst_frequency(address)
+        return any(alert.dst_frequency == frequency
+                   for alert in self.victim_alerts)

@@ -1,0 +1,147 @@
+"""Microphone arrays: the paper's §8 scaling direction.
+
+"An interesting research direction is to coordinate an array of
+microphones listening to different groups of switches."
+
+:class:`MicrophoneArray` does that coordination: several stations, each
+a microphone placed near one group of switches, polled on a common
+clock.  Per window, each station's capture is run through a shared
+detector; events are merged across stations (a tone heard by several
+microphones is reported once, from the station that heard it loudest)
+and dispatched exactly like :class:`~repro.core.controller.MDNController`
+events.  Switches too far from any single central microphone become
+audible again through their local station.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..audio.channel import AcousticChannel
+from ..audio.detector import DetectionEvent, FrequencyDetector
+from ..audio.devices import Microphone
+from ..net.sim import PeriodicTimer, Simulator
+
+
+@dataclass(frozen=True)
+class ArrayDetection:
+    """A merged detection: the event plus which station won it."""
+
+    event: DetectionEvent
+    station: str
+    stations_heard: tuple[str, ...]
+
+
+ArrayCallback = Callable[[ArrayDetection], None]
+
+
+class MicrophoneArray:
+    """A coordinated set of listening stations.
+
+    Parameters
+    ----------
+    sim, channel:
+        Shared clock and air.
+    stations:
+        ``{station_name: Microphone}`` — place each microphone near the
+        switch group it covers.
+    listen_interval:
+        Common capture window length.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: AcousticChannel,
+        stations: dict[str, Microphone],
+        listen_interval: float = 0.1,
+        threshold_db: float = 10.0,
+        min_level_db: float = 30.0,
+    ) -> None:
+        if not stations:
+            raise ValueError("need at least one station")
+        self.sim = sim
+        self.channel = channel
+        self.stations = dict(stations)
+        self.listen_interval = listen_interval
+        self.threshold_db = threshold_db
+        self.min_level_db = min_level_db
+        self._subscribers: dict[float, list[ArrayCallback]] = {}
+        self._onset_subscribers: dict[float, list[ArrayCallback]] = {}
+        self._detector: FrequencyDetector | None = None
+        self._timer: PeriodicTimer | None = None
+        self._previous: set[float] = set()
+        #: frequency -> station that last reported it (coverage map).
+        self.coverage: dict[float, str] = {}
+        self.windows_processed = 0
+
+    def watch(
+        self,
+        frequencies: list[float],
+        on_detection: ArrayCallback | None = None,
+        on_onset: ArrayCallback | None = None,
+    ) -> None:
+        """Subscribe to frequencies across the whole array."""
+        if self._timer is not None:
+            raise RuntimeError("watch() must be called before start()")
+        if on_detection is None and on_onset is None:
+            raise ValueError("need at least one callback")
+        for frequency in frequencies:
+            key = float(frequency)
+            if on_detection is not None:
+                self._subscribers.setdefault(key, []).append(on_detection)
+            if on_onset is not None:
+                self._onset_subscribers.setdefault(key, []).append(on_onset)
+
+    @property
+    def watched_frequencies(self) -> list[float]:
+        return sorted(set(self._subscribers) | set(self._onset_subscribers))
+
+    def start(self) -> None:
+        if self._timer is not None:
+            raise RuntimeError("array already started")
+        if not self.watched_frequencies:
+            raise RuntimeError("nothing to watch; call watch() first")
+        self._detector = FrequencyDetector(
+            self.watched_frequencies,
+            threshold_db=self.threshold_db,
+            min_level_db=self.min_level_db,
+        )
+        self._timer = self.sim.every(self.listen_interval, self._listen_once)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    def _listen_once(self) -> None:
+        assert self._detector is not None
+        end = self.sim.now
+        start = end - self.listen_interval
+        # frequency -> (best event, best station, all stations that heard)
+        merged: dict[float, tuple[DetectionEvent, str, list[str]]] = {}
+        for name in sorted(self.stations):
+            capture = self.stations[name].record(self.channel, start, end)
+            for event in self._detector.detect(capture, start):
+                current = merged.get(event.frequency)
+                if current is None:
+                    merged[event.frequency] = (event, name, [name])
+                else:
+                    best_event, best_station, heard = current
+                    heard.append(name)
+                    if event.level_db > best_event.level_db:
+                        merged[event.frequency] = (event, name, heard)
+        self.windows_processed += 1
+
+        present = set(merged)
+        for frequency in sorted(merged):
+            event, station, heard = merged[frequency]
+            self.coverage[frequency] = station
+            detection = ArrayDetection(event, station, tuple(heard))
+            for callback in self._subscribers.get(frequency, ()):
+                callback(detection)
+            if frequency not in self._previous:
+                for callback in self._onset_subscribers.get(frequency, ()):
+                    callback(detection)
+        self._previous = present

@@ -1,0 +1,197 @@
+"""The MDN controller: the process that listens.
+
+The paper's controller (Figure 1) is "an application listening for
+sounds [that] interprets the sound sequence (music) and launches the
+appropriate action, e.g., send an OpenFlow Flow-MOD message or open a
+previously closed port".  This class is that application:
+
+* it owns a microphone and polls it on a fixed listening interval
+  (shorter tones → shorter windows → faster reactions, §3);
+* each captured window goes through a
+  :class:`~repro.audio.detector.FrequencyDetector`;
+* window-level detections are converted to **tone onsets** (a tone
+  spanning several windows fires once), and both raw detections and
+  onsets are dispatched to subscribed applications;
+* it optionally holds the SDN control channel, so applications can
+  push Flow-MODs in response to sounds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..audio.channel import AcousticChannel
+from ..audio.detector import DetectionEvent, FrequencyDetector
+from ..audio.devices import Microphone
+from ..net.controlplane import ControlChannel, ControllerBase, FlowMod, PacketIn
+from ..net.sim import PeriodicTimer, Simulator
+
+#: Subscriber signature for per-window detections: (event).
+DetectionCallback = Callable[[DetectionEvent], None]
+
+
+class MDNController(ControllerBase):
+    """Sound-driven network controller.
+
+    Parameters
+    ----------
+    sim, channel:
+        Shared clock and air.
+    microphone:
+        The listening device.
+    listen_interval:
+        Window length (and polling period), seconds.  100 ms resolves
+        the 20 Hz plan grid (10 Hz FFT bins).
+    backend:
+        Detection backend, ``"fft"`` or ``"goertzel"``.
+    control_channel:
+        Optional SDN southbound channel for Flow-MODs.
+    prune_every:
+        Every this-many processed windows, drop channel tones that
+        ended more than ``prune_margin`` seconds ago so long-running
+        deployments don't accumulate render cost.  0 disables pruning
+        (e.g. when another listener needs deep look-back).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: AcousticChannel,
+        microphone: Microphone,
+        listen_interval: float = 0.1,
+        backend: str = "fft",
+        threshold_db: float = 10.0,
+        min_level_db: float = 30.0,
+        control_channel: ControlChannel | None = None,
+        prune_every: int = 600,
+        prune_margin: float = 30.0,
+    ) -> None:
+        if listen_interval <= 0:
+            raise ValueError("listen_interval must be positive")
+        self.sim = sim
+        self.channel = channel
+        self.microphone = microphone
+        self.listen_interval = listen_interval
+        self.backend = backend
+        self.threshold_db = threshold_db
+        self.min_level_db = min_level_db
+        self.control_channel = control_channel
+        self.prune_every = prune_every
+        self.prune_margin = prune_margin
+        if control_channel is not None:
+            control_channel.register_controller(self)
+
+        self._detection_subscribers: dict[float, list[DetectionCallback]] = {}
+        self._onset_subscribers: dict[float, list[DetectionCallback]] = {}
+        self._any_window_subscribers: list[Callable[[list[DetectionEvent], float], None]] = []
+        self._detector: FrequencyDetector | None = None
+        self._timer: PeriodicTimer | None = None
+        self._previous_window: set[float] = set()
+        self.windows_processed = 0
+        self.detections = 0
+        self.onsets = 0
+
+    # ------------------------------------------------------------------
+    # Subscription
+    # ------------------------------------------------------------------
+
+    def watch(
+        self,
+        frequencies: list[float],
+        on_detection: DetectionCallback | None = None,
+        on_onset: DetectionCallback | None = None,
+    ) -> None:
+        """Subscribe to a set of frequencies.
+
+        ``on_detection`` fires for every capture window containing the
+        tone; ``on_onset`` fires only when the tone *starts* (absent in
+        the previous window).  Must be called before :meth:`start`
+        (the watch list sizes the detector).
+        """
+        if self._timer is not None:
+            raise RuntimeError("watch() must be called before start()")
+        if on_detection is None and on_onset is None:
+            raise ValueError("need at least one callback")
+        for frequency in frequencies:
+            key = float(frequency)
+            if on_detection is not None:
+                self._detection_subscribers.setdefault(key, []).append(on_detection)
+            if on_onset is not None:
+                self._onset_subscribers.setdefault(key, []).append(on_onset)
+        self._detector = None  # force rebuild
+
+    def on_window(
+        self, callback: Callable[[list[DetectionEvent], float], None]
+    ) -> None:
+        """Subscribe to every processed window: ``callback(events, time)``.
+        Used by telemetry apps that reason about whole windows."""
+        self._any_window_subscribers.append(callback)
+
+    @property
+    def watched_frequencies(self) -> list[float]:
+        watched = set(self._detection_subscribers) | set(self._onset_subscribers)
+        return sorted(watched)
+
+    # ------------------------------------------------------------------
+    # Listening loop
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the periodic listen loop at the current sim time."""
+        if self._timer is not None:
+            raise RuntimeError("controller already started")
+        if not self.watched_frequencies:
+            raise RuntimeError("nothing to watch; call watch() first")
+        self._build_detector()
+        self._timer = self.sim.every(self.listen_interval, self._listen_once)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    def _build_detector(self) -> None:
+        self._detector = FrequencyDetector(
+            self.watched_frequencies,
+            threshold_db=self.threshold_db,
+            min_level_db=self.min_level_db,
+            backend=self.backend,
+        )
+
+    def _listen_once(self) -> None:
+        """Capture the window that just elapsed and dispatch events."""
+        end = self.sim.now
+        start = end - self.listen_interval
+        window = self.microphone.record(self.channel, start, end)
+        assert self._detector is not None
+        events = self._detector.detect(window, start)
+        self.windows_processed += 1
+        self.detections += len(events)
+
+        present = {event.frequency for event in events}
+        for event in events:
+            for callback in self._detection_subscribers.get(event.frequency, ()):
+                callback(event)
+            if event.frequency not in self._previous_window:
+                self.onsets += 1
+                for callback in self._onset_subscribers.get(event.frequency, ()):
+                    callback(event)
+        for callback in self._any_window_subscribers:
+            callback(events, start)
+        self._previous_window = present
+        if self.prune_every and self.windows_processed % self.prune_every == 0:
+            self.channel.prune(start, self.prune_margin)
+
+    # ------------------------------------------------------------------
+    # SDN southbound
+    # ------------------------------------------------------------------
+
+    def send_flow_mod(self, switch_name: str, flow_mod: FlowMod) -> None:
+        """Push a FlowMod (requires a control channel)."""
+        if self.control_channel is None:
+            raise RuntimeError("no control channel attached")
+        self.control_channel.send_flow_mod(switch_name, flow_mod)
+
+    def handle_packet_in(self, message: PacketIn) -> None:
+        """Default PacketIn handler: ignore (MDN reacts to sound, not
+        packets).  Applications needing PacketIns can override or wrap."""

@@ -1,0 +1,164 @@
+"""Frequency planning: who may play what.
+
+Section 3: "we empirically found that a distance of approximately 20 Hz
+between frequencies is needed to accurately differentiate them.  Each
+switch in our testbed was assigned a unique set of frequencies, so that
+we can identify sounds played by different switches at the same time."
+And §5: "we could distinguish up to 1000 distinct frequencies played
+simultaneously only considering the human-hearable frequency range."
+
+:class:`FrequencyPlan` is the allocator enforcing those rules: a band
+of candidate frequencies on a guard-spaced grid, handed out in blocks
+to named devices, with reverse lookup so a detected tone can be traced
+back to (device, index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The paper's empirical separation requirement, Hz.
+DEFAULT_GUARD_HZ = 20.0
+
+#: Default usable band: above HVAC/fan rumble, inside cheap-speaker
+#: response, inside the audible range the paper restricts itself to.
+DEFAULT_BAND = (400.0, 7_600.0)
+
+
+class FrequencyPlanError(ValueError):
+    """Raised when an allocation cannot be satisfied."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A device's assigned frequency block."""
+
+    device: str
+    frequencies: tuple[float, ...]
+
+    def frequency_for(self, index: int) -> float:
+        """The device's ``index``-th assigned frequency (for mapping
+        symbols — ports, queue bands, flow-hash buckets — to tones)."""
+        return self.frequencies[index]
+
+    def index_of(self, frequency: float) -> int:
+        """Inverse of :meth:`frequency_for`."""
+        return self.frequencies.index(frequency)
+
+    def __len__(self) -> int:
+        return len(self.frequencies)
+
+
+class FrequencyPlan:
+    """Guard-spaced frequency allocator over a band.
+
+    Parameters
+    ----------
+    low_hz, high_hz:
+        Band edges (inclusive low, inclusive high).
+    guard_hz:
+        Minimum spacing between any two allocated frequencies
+        (paper: 20 Hz).
+    """
+
+    def __init__(
+        self,
+        low_hz: float = DEFAULT_BAND[0],
+        high_hz: float = DEFAULT_BAND[1],
+        guard_hz: float = DEFAULT_GUARD_HZ,
+    ) -> None:
+        if not 0 < low_hz < high_hz:
+            raise FrequencyPlanError(f"invalid band [{low_hz}, {high_hz}]")
+        if guard_hz <= 0:
+            raise FrequencyPlanError(f"guard must be positive, got {guard_hz}")
+        self.low_hz = low_hz
+        self.high_hz = high_hz
+        self.guard_hz = guard_hz
+        self._allocations: dict[str, Allocation] = {}
+        self._owner_by_frequency: dict[float, str] = {}
+        self._next_slot = 0
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Total distinct frequencies the band supports at this guard.
+
+        With the full audible band (≈20 Hz–20 kHz) and a 20 Hz guard
+        this evaluates to ~1000 — the paper's §5 capacity estimate.
+        """
+        return int((self.high_hz - self.low_hz) / self.guard_hz) + 1
+
+    @property
+    def allocated_count(self) -> int:
+        return self._next_slot
+
+    @property
+    def remaining(self) -> int:
+        return self.capacity - self._next_slot
+
+    def slot_frequency(self, slot: int) -> float:
+        """The frequency of grid slot ``slot``."""
+        if not 0 <= slot < self.capacity:
+            raise FrequencyPlanError(
+                f"slot {slot} outside [0, {self.capacity})"
+            )
+        return self.low_hz + slot * self.guard_hz
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def allocate(self, device: str, count: int) -> Allocation:
+        """Assign ``count`` fresh frequencies to ``device``.
+
+        Each device may hold exactly one block (call once per device);
+        blocks never overlap, and all frequencies in all blocks are at
+        least ``guard_hz`` apart.
+        """
+        if count < 1:
+            raise FrequencyPlanError(f"count must be >= 1, got {count}")
+        if device in self._allocations:
+            raise FrequencyPlanError(f"device {device!r} already has a block")
+        if self._next_slot + count > self.capacity:
+            raise FrequencyPlanError(
+                f"band exhausted: need {count} slots, {self.remaining} left"
+            )
+        frequencies = tuple(
+            self.slot_frequency(self._next_slot + offset)
+            for offset in range(count)
+        )
+        self._next_slot += count
+        allocation = Allocation(device, frequencies)
+        self._allocations[device] = allocation
+        for frequency in frequencies:
+            self._owner_by_frequency[frequency] = device
+        return allocation
+
+    def allocation_of(self, device: str) -> Allocation:
+        allocation = self._allocations.get(device)
+        if allocation is None:
+            raise FrequencyPlanError(f"no allocation for device {device!r}")
+        return allocation
+
+    def owner_of(self, frequency: float) -> str | None:
+        """Which device owns a frequency (None if unallocated)."""
+        return self._owner_by_frequency.get(frequency)
+
+    def all_frequencies(self) -> list[float]:
+        """Every allocated frequency, ascending — the controller's
+        watch list."""
+        return sorted(self._owner_by_frequency)
+
+    def validate_disjoint(self) -> None:
+        """Invariant check: every pair of allocated frequencies is at
+        least ``guard_hz`` apart (used by property tests)."""
+        frequencies = self.all_frequencies()
+        for first, second in zip(frequencies, frequencies[1:]):
+            if second - first < self.guard_hz - 1e-9:
+                raise FrequencyPlanError(
+                    f"guard violation: {first} and {second} are "
+                    f"{second - first} Hz apart"
+                )

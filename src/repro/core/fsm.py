@@ -1,0 +1,116 @@
+"""Finite state machines for sound-driven network state processing.
+
+Section 4: sounds "can be used ... to implement any finite state
+machine for network state processing", with states stored in the MDN
+controller rather than in the switch (contrast with OpenState).  This
+module provides the generic machine; the port-knocking application
+builds its knock sequence on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+#: Transition callbacks: (from_state, symbol, to_state).
+TransitionHook = Callable[[str, Hashable, str], None]
+
+
+class FSMError(ValueError):
+    """Raised on malformed machine definitions."""
+
+
+@dataclass
+class StateMachine:
+    """A deterministic finite state machine over hashable symbols.
+
+    Parameters
+    ----------
+    initial:
+        Starting state name.
+    transitions:
+        ``{(state, symbol): next_state}``.
+    accepting:
+        States in which :attr:`accepted` is True.
+    default_state:
+        Where unmatched symbols lead (``None`` = stay put; the
+        port-knocking machine instead resets to the initial state on a
+        wrong knock).
+    latch_accepting:
+        When True, reaching an accepting state is final: further
+        symbols are ignored (a knocked-open port stays open; only
+        :meth:`reset` re-arms the machine).
+    """
+
+    initial: str
+    transitions: dict[tuple[str, Hashable], str]
+    accepting: frozenset[str] = frozenset()
+    default_state: str | None = None
+    latch_accepting: bool = False
+    state: str = field(init=False)
+    _hooks: list[TransitionHook] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        states = {self.initial} | self.accepting | set(self.transitions.values())
+        states |= {state for state, _ in self.transitions}
+        if self.default_state is not None and self.default_state not in states:
+            raise FSMError(f"default_state {self.default_state!r} unknown")
+        for (state, _symbol), target in self.transitions.items():
+            if state not in states or target not in states:  # pragma: no cover
+                raise FSMError("transition references unknown state")
+        self.state = self.initial
+
+    @property
+    def accepted(self) -> bool:
+        return self.state in self.accepting
+
+    def on_transition(self, hook: TransitionHook) -> None:
+        self._hooks.append(hook)
+
+    def feed(self, symbol: Hashable) -> str:
+        """Consume one symbol; returns the new state.
+
+        Symbols with no outgoing edge move to ``default_state`` (or
+        stay, when it is None).
+        """
+        if self.latch_accepting and self.accepted:
+            return self.state
+        source = self.state
+        target = self.transitions.get((source, symbol))
+        if target is None:
+            target = self.default_state if self.default_state is not None else source
+        self.state = target
+        if target != source or (source, symbol) in self.transitions:
+            for hook in self._hooks:
+                hook(source, symbol, target)
+        return self.state
+
+    def reset(self) -> None:
+        self.state = self.initial
+
+
+def sequence_machine(symbols: list[Hashable], reset_on_error: bool = True) -> StateMachine:
+    """A machine accepting exactly one symbol sequence.
+
+    This is the port-knocking pattern: states ``s0..sN``, advancing on
+    the correct next symbol.  A wrong symbol resets to ``s0``
+    (``reset_on_error``) or leaves the state unchanged.  Feeding the
+    *first* symbol from a partially-advanced state restarts progress at
+    ``s1`` rather than s0, matching classic port-knocking daemons.
+    """
+    if not symbols:
+        raise FSMError("sequence must not be empty")
+    transitions: dict[tuple[str, Hashable], str] = {}
+    for index, symbol in enumerate(symbols):
+        transitions[(f"s{index}", symbol)] = f"s{index + 1}"
+    # Restart shortcut: the first symbol always begins a fresh attempt.
+    first = symbols[0]
+    for index in range(1, len(symbols)):
+        transitions.setdefault((f"s{index}", first), "s1")
+    return StateMachine(
+        initial="s0",
+        transitions=transitions,
+        accepting=frozenset({f"s{len(symbols)}"}),
+        default_state="s0" if reset_on_error else None,
+        latch_accepting=True,
+    )

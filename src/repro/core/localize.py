@@ -1,0 +1,311 @@
+"""Acoustic source localization: *which rack is beeping?*
+
+Section 7 (footnote): "while conducting our experiments, we heard a
+misconfigured server beeping for weeks" — somebody had to walk the
+aisles to find it.  Section 8 proposes coordinating "an array of
+microphones listening to different groups of switches".  Put together,
+the array can do more than extend coverage: with known station
+positions and the speed of sound, the *time difference of arrival*
+(TDOA) of one emission across stations pins the emitter's location.
+
+Pipeline:
+
+1. every station records the same window;
+2. pairwise GCC-PHAT (generalized cross-correlation with phase
+   transform) estimates the inter-station delay of the dominant
+   coherent source, robust to the source's spectrum;
+3. a two-stage grid search finds the position whose hyperbolic TDOA
+   residuals are smallest.
+
+At 16 kHz one sample of delay is ~2 cm of path difference, so even the
+coarse audio clock localizes to a rack, not just an aisle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..audio.channel import SPEED_OF_SOUND, AcousticChannel, Position
+from ..audio.devices import Microphone
+from ..audio.signal import AudioSignal
+
+
+def gcc_phat_delay(
+    reference: AudioSignal,
+    other: AudioSignal,
+    max_delay: float | None = None,
+) -> float:
+    """Delay of ``other`` relative to ``reference``, in seconds.
+
+    Positive result: the sound reached ``other`` later.  Uses the
+    PHAT weighting (whitened cross-spectrum), which sharpens the
+    correlation peak for wideband and tonal sources alike.
+    """
+    if reference.sample_rate != other.sample_rate:
+        raise ValueError("sample rates differ")
+    count = min(len(reference), len(other))
+    if count < 16:
+        raise ValueError("windows too short to correlate")
+    a = reference.samples[:count]
+    b = other.samples[:count]
+    n_fft = 2 * count
+    spectrum = np.fft.rfft(a, n_fft) * np.conj(np.fft.rfft(b, n_fft))
+    magnitude = np.abs(spectrum)
+    spectrum = np.where(magnitude > 1e-15, spectrum / np.maximum(magnitude, 1e-15), 0)
+    correlation = np.fft.irfft(spectrum, n_fft)
+    # Rearrange so lag 0 sits in the middle.
+    correlation = np.concatenate(
+        (correlation[-count + 1:], correlation[:count])
+    )
+    lags = np.arange(-count + 1, count)
+    if max_delay is not None:
+        limit = int(round(max_delay * reference.sample_rate))
+        mask = np.abs(lags) <= limit
+        correlation = correlation[mask]
+        lags = lags[mask]
+    best = int(np.argmax(correlation))
+    # ``other`` lagging by k samples shows the peak at lag -k.
+    return -float(lags[best]) / reference.sample_rate
+
+
+def tone_onset_time(signal: AudioSignal, smoothing: float = 0.001) -> float:
+    """Sub-sample onset time of the dominant tone burst in a capture.
+
+    A pure tone's waveform correlation is periodic (ambiguous beyond
+    half a period) and a long tone's envelope correlation has a
+    near-flat apex -- so TDOA for tonal sources is best read off the
+    envelope's *rising edge*.  Returns the time, relative to the
+    capture start, where the smoothed envelope first crosses half its
+    maximum, linearly interpolated between samples.
+
+    The burst's rise must lie inside the capture (start listening at or
+    before the emission).
+    """
+    if len(signal) < 16:
+        raise ValueError("window too short for onset detection")
+    rate = signal.sample_rate
+    kernel_len = max(1, int(round(smoothing * rate)))
+    kernel = np.ones(kernel_len) / kernel_len
+    envelope = np.convolve(np.abs(signal.samples), kernel, mode="same")
+    peak = float(np.max(envelope))
+    if peak <= 0.0:
+        raise ValueError("silent capture: no onset to time")
+    threshold = 0.5 * peak
+    above = np.where(envelope >= threshold)[0]
+    index = int(above[0])
+    if index == 0:
+        return 0.0
+    lower, upper = envelope[index - 1], envelope[index]
+    fraction = (threshold - lower) / max(upper - lower, 1e-15)
+    return (index - 1 + float(fraction)) / rate
+
+
+def envelope_delay(
+    reference: AudioSignal,
+    other: AudioSignal,
+    max_delay: float | None = None,
+    smoothing: float = 0.001,
+) -> float:
+    """Delay of ``other``'s tone onset relative to ``reference``'s, in
+    seconds (positive: the sound reached ``other`` later)."""
+    if reference.sample_rate != other.sample_rate:
+        raise ValueError("sample rates differ")
+    delay = tone_onset_time(other, smoothing) - tone_onset_time(
+        reference, smoothing
+    )
+    if max_delay is not None and abs(delay) > max_delay:
+        raise ValueError(
+            f"onset delay {delay * 1000:.1f} ms exceeds the physical "
+            f"bound {max_delay * 1000:.1f} ms -- captures likely missed "
+            "the burst's rising edge"
+        )
+    return delay
+
+
+def onset_quality(signal: AudioSignal, smoothing: float = 0.001) -> float:
+    """How burst-like a capture is: envelope peak over its quiet floor.
+
+    A station that clearly hears a beep shows a silent floor followed
+    by a strong burst (ratios in the hundreds); a station drowned by a
+    nearby continuous source shows a nearly flat envelope (ratio near
+    1).  The localizer gates stations on this before trusting their
+    onset times.
+    """
+    if len(signal) < 16:
+        return 0.0
+    rate = signal.sample_rate
+    kernel_len = max(1, int(round(smoothing * rate)))
+    kernel = np.ones(kernel_len) / kernel_len
+    envelope = np.convolve(np.abs(signal.samples), kernel, mode="same")
+    floor = float(np.percentile(envelope, 5))
+    return float(np.max(envelope)) / max(floor, 1e-15)
+
+
+@dataclass
+class LocalizationResult:
+    """An estimated emitter position with its residual."""
+
+    position: Position
+    residual_m: float            #: RMS hyperbolic mismatch, metres
+    tdoas: dict[str, float]      #: per-station delay vs the reference
+    excluded: tuple[str, ...] = ()  #: stations rejected as outliers
+
+
+class TdoaLocalizer:
+    """Locates a dominant sound source from array captures.
+
+    Parameters
+    ----------
+    stations:
+        ``{name: Microphone}`` with at least three microphones at
+        non-collinear positions (2-D localization in the z=0 plane).
+    region:
+        ``(x_min, x_max, y_min, y_max)`` search bounds; defaults to the
+        stations' bounding box padded by 20 m.
+    min_onset_quality:
+        Minimum :func:`onset_quality` for a station's timing to be
+        trusted (clean beeps score in the hundreds; a station drowned
+        by a local interferer scores near 1).
+    """
+
+    def __init__(
+        self,
+        stations: dict[str, Microphone],
+        region: tuple[float, float, float, float] | None = None,
+        min_onset_quality: float = 10.0,
+    ) -> None:
+        if len(stations) < 3:
+            raise ValueError("TDOA localization needs >= 3 stations")
+        self.stations = dict(stations)
+        self.min_onset_quality = min_onset_quality
+        if region is None:
+            xs = [mic.position.x for mic in stations.values()]
+            ys = [mic.position.y for mic in stations.values()]
+            pad = 20.0
+            region = (min(xs) - pad, max(xs) + pad,
+                      min(ys) - pad, max(ys) + pad)
+        self.region = region
+
+    def locate(
+        self,
+        channel: AcousticChannel,
+        start: float,
+        end: float,
+        band: tuple[float, float] | None = None,
+    ) -> LocalizationResult:
+        """Record ``[start, end)`` at every station and localize the
+        dominant source.
+
+        ``band`` isolates the hunted emission before correlation —
+        essential when another *coherent* source (a point noise bed,
+        another server) shares the room: its different TDOA otherwise
+        biases the correlation peak.  Pass the beep's frequency ±
+        a few hundred Hz.
+        """
+        from ..audio.fft import bandpass_filter
+
+        names = sorted(self.stations)
+        captures = {
+            name: self.stations[name].record(channel, start, end)
+            for name in names
+        }
+        if band is not None:
+            captures = {
+                name: bandpass_filter(capture, band[0], band[1])
+                for name, capture in captures.items()
+            }
+        # Gate out stations that cannot actually hear a distinct burst
+        # (e.g. a microphone parked next to a roaring server): their
+        # onset time would be an artifact of the local interferer.
+        qualities = {
+            name: onset_quality(captures[name]) for name in names
+        }
+        usable = [name for name in names
+                  if qualities[name] >= self.min_onset_quality]
+        if len(usable) < 3:
+            # Keep the three best-hearing stations regardless.
+            usable = sorted(names, key=lambda n: qualities[n],
+                            reverse=True)[:3]
+            usable.sort()
+        onsets = {
+            name: tone_onset_time(captures[name]) for name in usable
+        }
+        result = self._robust_solve(usable, onsets)
+        gated = tuple(sorted(set(names) - set(usable)))
+        return LocalizationResult(
+            result.position, result.residual_m, result.tdoas,
+            tuple(sorted(set(result.excluded) | set(gated))),
+        )
+
+    def _robust_solve(
+        self,
+        names: list[str],
+        onsets: dict[str, float],
+        residual_tolerance_m: float = 1.0,
+    ) -> LocalizationResult:
+        """Solve, then — if the fit is poor — retry leaving out each
+        station in turn (a station parked next to a loud interferer
+        times the wrong onset; real arrays must reject it)."""
+        def solve(active: list[str]) -> LocalizationResult:
+            reference = active[0]
+            tdoas = {
+                name: onsets[name] - onsets[reference]
+                for name in active[1:]
+            }
+            position, residual = self._grid_search(reference, tdoas)
+            excluded = tuple(sorted(set(names) - set(active)))
+            return LocalizationResult(position, residual, tdoas, excluded)
+
+        best = solve(names)
+        if best.residual_m <= residual_tolerance_m or len(names) <= 3:
+            return best
+        for leave_out in names:
+            active = [name for name in names if name != leave_out]
+            candidate = solve(active)
+            if candidate.residual_m < best.residual_m:
+                best = candidate
+        return best
+
+    # ------------------------------------------------------------------
+
+    def _max_station_span(self) -> float:
+        positions = [mic.position for mic in self.stations.values()]
+        return max(
+            a.distance_to(b) for a in positions for b in positions
+        )
+
+    def _residual(self, x: float, y: float, reference: str,
+                  tdoas: dict[str, float]) -> float:
+        point = Position(x, y, 0.0)
+        ref_dist = point.distance_to(self.stations[reference].position)
+        errors = []
+        for name, tdoa in tdoas.items():
+            dist = point.distance_to(self.stations[name].position)
+            predicted = (dist - ref_dist) / SPEED_OF_SOUND
+            errors.append((predicted - tdoa) * SPEED_OF_SOUND)
+        return float(np.sqrt(np.mean(np.square(errors))))
+
+    def _grid_search(self, reference: str,
+                     tdoas: dict[str, float]) -> tuple[Position, float]:
+        x_min, x_max, y_min, y_max = self.region
+        best = (x_min, y_min)
+        best_residual = float("inf")
+        step = max((x_max - x_min), (y_max - y_min)) / 40.0
+        for _refinement in range(4):
+            xs = np.arange(best[0] - 20 * step if _refinement else x_min,
+                           (best[0] + 20 * step if _refinement else x_max)
+                           + step / 2, step)
+            ys = np.arange(best[1] - 20 * step if _refinement else y_min,
+                           (best[1] + 20 * step if _refinement else y_max)
+                           + step / 2, step)
+            for x in xs:
+                for y in ys:
+                    residual = self._residual(float(x), float(y),
+                                              reference, tdoas)
+                    if residual < best_residual:
+                        best_residual = residual
+                        best = (float(x), float(y))
+            step /= 5.0
+        return Position(best[0], best[1], 0.0), best_residual

@@ -1,0 +1,114 @@
+"""Tone-count telemetry: the shared engine behind Section 5.
+
+Both §5 use cases reduce to the same primitive: count how often each
+watched frequency is heard per time interval, then apply a rule —
+
+* *heavy hitter*: one frequency heard "more than a threshold in a
+  given time interval";
+* *port scan*: many *distinct* frequencies heard within an interval.
+
+:class:`ToneCounter` maintains those per-interval histograms from the
+controller's onset stream and exposes both rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..audio.detector import DetectionEvent
+from ..net.stats import TimeSeries
+
+
+@dataclass(frozen=True)
+class IntervalCounts:
+    """One closed measurement interval."""
+
+    start: float
+    end: float
+    counts: dict[float, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def distinct(self) -> int:
+        return len(self.counts)
+
+
+class ToneCounter:
+    """Per-interval histograms of tone onsets.
+
+    Parameters
+    ----------
+    interval:
+        Measurement interval length, seconds.
+    """
+
+    def __init__(self, interval: float = 1.0) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self._current_start: float | None = None
+        self._current: dict[float, int] = {}
+        self.closed: list[IntervalCounts] = []
+        #: Series of per-interval totals (for plots/tests).
+        self.totals = TimeSeries("tone_counter.totals")
+
+    def observe(self, event: DetectionEvent) -> None:
+        """Feed one tone onset (wire to ``MDNController.watch(on_onset=...)``)."""
+        self._roll_to(event.time)
+        self._current[event.frequency] = self._current.get(event.frequency, 0) + 1
+
+    def _roll_to(self, time: float) -> None:
+        if self._current_start is None:
+            self._current_start = self._align(time)
+            return
+        while time >= self._current_start + self.interval:
+            self._close_interval()
+
+    def _align(self, time: float) -> float:
+        return (time // self.interval) * self.interval
+
+    def _close_interval(self) -> None:
+        assert self._current_start is not None
+        end = self._current_start + self.interval
+        snapshot = IntervalCounts(self._current_start, end, dict(self._current))
+        self.closed.append(snapshot)
+        self.totals.record(end, snapshot.total)
+        self._current = {}
+        self._current_start = end
+
+    def flush(self, now: float) -> None:
+        """Close any interval that has fully elapsed by ``now``."""
+        if self._current_start is not None:
+            self._roll_to(now)
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    def frequencies_over(self, threshold: int) -> list[tuple[float, float]]:
+        """``(interval_start, frequency)`` pairs where a frequency was
+        heard more than ``threshold`` times in one interval — the heavy
+        hitter rule."""
+        hits = []
+        for interval in self.closed:
+            for frequency, count in sorted(interval.counts.items()):
+                if count > threshold:
+                    hits.append((interval.start, frequency))
+        return hits
+
+    def intervals_with_distinct_over(self, threshold: int) -> list[IntervalCounts]:
+        """Intervals where more than ``threshold`` distinct frequencies
+        were heard — the scan/superspreader rule."""
+        return [
+            interval for interval in self.closed if interval.distinct > threshold
+        ]
+
+    def count_history(self, frequency: float) -> TimeSeries:
+        """Per-interval count series for one frequency."""
+        series = TimeSeries(f"tone_counter.{frequency:.0f}Hz")
+        for interval in self.closed:
+            series.record(interval.end, interval.counts.get(frequency, 0))
+        return series

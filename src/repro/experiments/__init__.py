@@ -1,0 +1,104 @@
+"""Figure-regeneration experiments: one callable per paper artifact.
+
+Every evaluation figure in the paper maps to a function here (see the
+per-experiment index in DESIGN.md); the benchmark suite and the example
+scripts are thin drivers over these.
+"""
+
+from .fig2 import Fig2AResult, Fig2BResult, fft_latency_cdf, multiswitch_fft
+from .fig3 import Fig3Result, port_knocking_experiment
+from .fig4 import (
+    Fig4ABResult,
+    Fig4CDResult,
+    heavy_hitter_experiment,
+    port_scan_experiment,
+)
+from .fig5 import (
+    Fig5ABResult,
+    Fig5CDResult,
+    load_balancing_experiment,
+    queue_monitor_experiment,
+)
+from .fig67 import (
+    Fig6Panel,
+    Fig7Result,
+    fan_failure_experiment,
+    fan_spectrogram_panel,
+)
+from .rigs import Testbed, build_testbed
+from .scaling import ScalePoint, monitoring_scale_sweep
+from .xbase import (
+    EcnVsMdnResult,
+    InbandVsOobResult,
+    SketchVsMdnResult,
+    ecn_vs_mdn,
+    inband_vs_oob,
+    sketch_vs_mdn,
+)
+from .xext import (
+    ModemResult,
+    RelayResult,
+    SuperspreaderResult,
+    UltrasoundResult,
+    modem_experiment,
+    relay_experiment,
+    superspreader_experiment,
+    ultrasound_experiment,
+)
+from .xcap import (
+    BackendComparison,
+    ConcurrencyPoint,
+    GuardPoint,
+    MultipathPoint,
+    backend_ablation,
+    concurrency_sweep,
+    guard_spacing_sweep,
+    multipath_sweep,
+)
+
+__all__ = [
+    "BackendComparison",
+    "ConcurrencyPoint",
+    "EcnVsMdnResult",
+    "Fig2AResult",
+    "Fig2BResult",
+    "Fig3Result",
+    "Fig4ABResult",
+    "Fig4CDResult",
+    "Fig5ABResult",
+    "Fig5CDResult",
+    "Fig6Panel",
+    "Fig7Result",
+    "GuardPoint",
+    "InbandVsOobResult",
+    "ModemResult",
+    "MultipathPoint",
+    "RelayResult",
+    "ScalePoint",
+    "SketchVsMdnResult",
+    "SuperspreaderResult",
+    "Testbed",
+    "UltrasoundResult",
+    "backend_ablation",
+    "build_testbed",
+    "concurrency_sweep",
+    "ecn_vs_mdn",
+    "fan_failure_experiment",
+    "fan_spectrogram_panel",
+    "fft_latency_cdf",
+    "guard_spacing_sweep",
+    "heavy_hitter_experiment",
+    "inband_vs_oob",
+    "load_balancing_experiment",
+    "modem_experiment",
+    "monitoring_scale_sweep",
+    "multipath_sweep",
+    "multiswitch_fft",
+    "port_knocking_experiment",
+    "port_scan_experiment",
+    "queue_monitor_experiment",
+    "relay_experiment",
+    "sketch_vs_mdn",
+    "superspreader_experiment",
+    "ultrasound_experiment",
+]

@@ -1,0 +1,18 @@
+"""Fan and room acoustics: the Section 7 substrate.
+
+Rotor line-spectrum models, server chassis with failure injection, and
+the datacenter / office listening scenes of Figure 6.
+"""
+
+from .fan import FanModel
+from .room import RoomScene, datacenter_scene, office_scene
+from .server import Server, default_fan_bank
+
+__all__ = [
+    "FanModel",
+    "RoomScene",
+    "Server",
+    "datacenter_scene",
+    "default_fan_bank",
+    "office_scene",
+]

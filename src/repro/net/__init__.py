@@ -1,0 +1,103 @@
+"""Network substrate: the Mininet / Zodiac FX replacement.
+
+A deterministic discrete-event simulator providing hosts, links with
+egress queues, match-action switches and an SDN control channel — the
+environment the paper's Music-Defined mechanisms are grafted onto.
+See DESIGN.md §2 for the substitution rationale.
+"""
+
+from .controlplane import (
+    ControlChannel,
+    ControllerBase,
+    FlowMod,
+    FlowModCommand,
+    PacketIn,
+    PortStats,
+)
+from .flowtable import Action, ActionType, FlowEntry, FlowTable, Match
+from .host import ByteCounterSampler, Host
+from .link import Link, LinkDirection, Node
+from .meter import TokenBucket
+from .packet import FlowKey, Packet, Protocol
+from .queueing import DEFAULT_CAPACITY, PacketQueue, QueueBands
+from .routing import (
+    install_all_routes,
+    leaf_spine_topology,
+    shortest_path,
+    star_topology,
+)
+from .sim import Event, PeriodicTimer, Simulator
+from .stats import Counter, TimeSeries
+from .switch import Switch
+from .topology import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_DELAY,
+    Topology,
+    linear_topology,
+    rhombus_topology,
+    single_switch_topology,
+)
+from .traffic import (
+    ConstantRateSource,
+    FanInSource,
+    FanOutSource,
+    FlowMixWorkload,
+    FlowSpec,
+    OnOffSource,
+    PoissonSource,
+    PortScanSource,
+    RampSource,
+    TrafficSource,
+)
+
+__all__ = [
+    "Action",
+    "ActionType",
+    "ByteCounterSampler",
+    "ConstantRateSource",
+    "ControlChannel",
+    "ControllerBase",
+    "Counter",
+    "DEFAULT_BANDWIDTH",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_DELAY",
+    "Event",
+    "FanInSource",
+    "FanOutSource",
+    "FlowEntry",
+    "FlowKey",
+    "FlowMixWorkload",
+    "FlowMod",
+    "FlowModCommand",
+    "FlowSpec",
+    "FlowTable",
+    "Host",
+    "Link",
+    "LinkDirection",
+    "Match",
+    "Node",
+    "OnOffSource",
+    "Packet",
+    "PacketIn",
+    "PacketQueue",
+    "PeriodicTimer",
+    "PoissonSource",
+    "PortScanSource",
+    "PortStats",
+    "Protocol",
+    "QueueBands",
+    "RampSource",
+    "Simulator",
+    "Switch",
+    "TimeSeries",
+    "TokenBucket",
+    "Topology",
+    "TrafficSource",
+    "linear_topology",
+    "rhombus_topology",
+    "single_switch_topology",
+    "install_all_routes",
+    "leaf_spine_topology",
+    "shortest_path",
+    "star_topology",
+]

@@ -1,0 +1,65 @@
+"""Token-bucket metering: in-network rate limiting.
+
+Section 6 positions the queue chirp as a signal that "can be used to
+drive in-network flow or congestion control decisions, without waiting
+for source reactions".  Hearing congestion is half the loop; *acting*
+in-network is the other half.  This module provides the actuator: a
+token-bucket meter a flow entry can carry, policing matched traffic to
+a configured rate at the switch — the OpenFlow meter-table equivalent.
+"""
+
+from __future__ import annotations
+
+from ..net.packet import Packet
+from .sim import Simulator
+
+
+class TokenBucket:
+    """A classic token bucket policer.
+
+    Parameters
+    ----------
+    sim:
+        The clock tokens accrue against.
+    rate_pps:
+        Sustained packet rate.
+    burst:
+        Bucket depth, packets (allowed burst above the sustained rate).
+    """
+
+    def __init__(self, sim: Simulator, rate_pps: float, burst: float = 10.0) -> None:
+        if rate_pps <= 0:
+            raise ValueError(f"rate_pps must be positive, got {rate_pps}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.sim = sim
+        self.rate_pps = rate_pps
+        self.burst = burst
+        self._tokens = burst
+        self._last_update = sim.now
+        self.conformant = 0
+        self.policed = 0
+
+    @property
+    def tokens(self) -> float:
+        """Current bucket level (refreshes lazily)."""
+        self._refill()
+        return self._tokens
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            self._tokens = min(self.burst,
+                               self._tokens + elapsed * self.rate_pps)
+            self._last_update = now
+
+    def allow(self, packet: Packet) -> bool:
+        """Charge one packet; False means it exceeds the rate (police)."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.conformant += 1
+            return True
+        self.policed += 1
+        return False

@@ -1,0 +1,137 @@
+"""Automatic route computation over a topology.
+
+The hand-written ``install_route`` calls in the canonical shapes are
+fine for four switches; anything larger wants computed routes.  This
+module provides BFS shortest paths over a :class:`~repro.net.topology.Topology`
+and installs destination-IP forwarding entries for every host — the
+static-routing equivalent of what an L2-learning or shortest-path SDN
+controller would push.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .flowtable import Action, Match
+from .topology import Topology
+
+
+def adjacency(topo: Topology) -> dict[str, list[str]]:
+    """Node-name adjacency lists, neighbours sorted for determinism."""
+    neighbours: dict[str, set[str]] = {
+        name: set() for name in list(topo.switches) + list(topo.hosts)
+    }
+    for link in topo.links:
+        neighbours[link.node_a.name].add(link.node_b.name)
+        neighbours[link.node_b.name].add(link.node_a.name)
+    return {name: sorted(peers) for name, peers in neighbours.items()}
+
+
+def shortest_path(topo: Topology, source: str, target: str) -> list[str]:
+    """BFS shortest node path from ``source`` to ``target``.
+
+    Raises ``ValueError`` when no path exists.  Ties break toward
+    lexicographically smaller neighbours, so routing is deterministic.
+    """
+    if source == target:
+        return [source]
+    neighbours = adjacency(topo)
+    if source not in neighbours or target not in neighbours:
+        raise ValueError(f"unknown node in path query: {source} -> {target}")
+    parents: dict[str, str] = {}
+    frontier = deque([source])
+    seen = {source}
+    while frontier:
+        here = frontier.popleft()
+        for peer in neighbours[here]:
+            if peer in seen:
+                continue
+            # Hosts forward nothing: only allow a host as the final hop.
+            if peer in topo.hosts and peer != target:
+                continue
+            seen.add(peer)
+            parents[peer] = here
+            if peer == target:
+                path = [target]
+                while path[-1] != source:
+                    path.append(parents[path[-1]])
+                return list(reversed(path))
+            frontier.append(peer)
+    raise ValueError(f"no path from {source} to {target}")
+
+
+def install_all_routes(topo: Topology, priority: int = 0) -> int:
+    """Install shortest-path dst-IP routes between every host pair.
+
+    Returns the number of flow entries installed.  Entries are
+    per-switch per-destination (not per-pair): for each destination
+    host, every switch forwards toward it along that switch's own
+    shortest path, which keeps tables small and loop-free.
+    """
+    installed = 0
+    for dst_name, dst_host in sorted(topo.hosts.items()):
+        for switch_name in sorted(topo.switches):
+            try:
+                path = shortest_path(topo, switch_name, dst_name)
+            except ValueError:
+                continue  # unreachable: leave no entry
+            if len(path) < 2:
+                continue
+            out_port = topo.port_towards(switch_name, path[1])
+            topo.switches[switch_name].flow_table.install(
+                Match(dst_ip=dst_host.ip), Action.forward(out_port), priority
+            )
+            installed += 1
+    return installed
+
+
+def star_topology(sim, num_hosts: int = 4, **link_kwargs) -> Topology:
+    """``num_hosts`` hosts on ``num_hosts`` edge switches around one
+    core switch, fully routed.
+
+    ::
+
+        h1 - e1 \\          / e3 - h3
+                  -- core --
+        h2 - e2 /          \\ e4 - h4
+    """
+    if num_hosts < 2:
+        raise ValueError("need at least two hosts")
+    topo = Topology(sim)
+    topo.add_switch("core")
+    for index in range(1, num_hosts + 1):
+        edge, host, ip = f"e{index}", f"h{index}", f"10.0.0.{index}"
+        topo.add_switch(edge)
+        topo.add_host(host, ip)
+        topo.connect(host, edge, **link_kwargs)
+        topo.connect(edge, "core", **link_kwargs)
+    install_all_routes(topo)
+    return topo
+
+
+def leaf_spine_topology(
+    sim, num_leaves: int = 3, num_spines: int = 2,
+    hosts_per_leaf: int = 2, **link_kwargs,
+) -> Topology:
+    """A small leaf–spine fabric (the datacenter shape of §1), fully
+    routed over shortest paths.
+
+    Hosts ``h<leaf>_<index>`` get IPs ``10.<leaf>.0.<index>``.
+    """
+    if num_leaves < 1 or num_spines < 1 or hosts_per_leaf < 1:
+        raise ValueError("leaf/spine/host counts must be >= 1")
+    topo = Topology(sim)
+    spines = [f"spine{index}" for index in range(1, num_spines + 1)]
+    for spine in spines:
+        topo.add_switch(spine)
+    for leaf_index in range(1, num_leaves + 1):
+        leaf = f"leaf{leaf_index}"
+        topo.add_switch(leaf)
+        for spine in spines:
+            topo.connect(leaf, spine, **link_kwargs)
+        for host_index in range(1, hosts_per_leaf + 1):
+            host = f"h{leaf_index}_{host_index}"
+            topo.add_host(host, f"10.{leaf_index}.0.{host_index}")
+            topo.connect(host, leaf, **link_kwargs)
+    install_all_routes(topo)
+    return topo

@@ -1,0 +1,165 @@
+"""Discrete-event simulation core shared by the network and the air.
+
+The testbed substitution (DESIGN.md §2) hinges on one clock: switches
+chirp at simulated times, queues fill at simulated times, and the MDN
+controller's microphone windows are cut from the same timeline.  This
+module provides that clock: a classic heap-based event scheduler with
+cancellable events and periodic timers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by (time, sequence) so ties fire
+    in scheduling order."""
+
+    time: float
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (lazy removal from the heap)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A minimal, deterministic discrete-event simulator.
+
+    Time is in seconds.  Determinism matters: every experiment in the
+    benchmarks must regenerate the same figure series on every run, so
+    no wall-clock or unordered-set iteration is involved anywhere.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[Event] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (for tests and debugging)."""
+        return self._events_processed
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Run ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Run ``callback(*args)`` at absolute simulation ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past (now={self.now}, requested={time})"
+            )
+        event = Event(time, next(self._sequence), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[..., None],
+        *args: Any,
+        start: float | None = None,
+    ) -> "PeriodicTimer":
+        """Run ``callback(*args)`` every ``interval`` seconds.
+
+        The first firing is at ``start`` (absolute; defaults to
+        ``now + interval``).  Returns a handle whose :meth:`stop`
+        cancels future firings.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        timer = PeriodicTimer(self, interval, callback, args)
+        first = self.now + interval if start is None else start
+        timer._arm(first)
+        return timer
+
+    def run(self, until: float) -> None:
+        """Execute events in order until the clock reaches ``until``.
+
+        The clock is left exactly at ``until`` even if the heap drains
+        early, so back-to-back ``run`` calls compose.
+        """
+        if until < self.now:
+            raise ValueError(f"cannot run backwards (now={self.now}, until={until})")
+        while self._heap and self._heap[0].time <= until:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+        self.now = until
+
+    def run_to_completion(self, max_events: int = 1_000_000) -> None:
+        """Drain the event heap entirely (bounded by ``max_events``)."""
+        remaining = max_events
+        while self._heap:
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; likely a "
+                    "timer loop that never stops"
+                )
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            remaining -= 1
+
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+
+class PeriodicTimer:
+    """Handle for a repeating event created by :meth:`Simulator.every`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[..., None],
+        args: tuple,
+    ) -> None:
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._args = args
+        self._event: Event | None = None
+        self._stopped = False
+        self.fire_count = 0
+
+    def _arm(self, time: float) -> None:
+        self._event = self._sim.schedule_at(time, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.fire_count += 1
+        self._callback(*self._args)
+        if not self._stopped:
+            self._arm(self._sim.now + self.interval)
+
+    def stop(self) -> None:
+        """Cancel all future firings."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()

@@ -1,0 +1,243 @@
+"""Topology builders for the paper's experiments.
+
+The experiments use three shapes: a single switch on the path (port
+knocking §4, telemetry §5, queue monitoring §6), the rhombus ("rhomboid
+topology, with the two hosts attached to two opposite vertices", §6
+load balancing), and a small line of switches for multi-hop tests.
+:class:`Topology` wires switches, hosts and links over one simulator
+and installs static destination-IP routes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .flowtable import Action, Match
+from .host import Host
+from .link import Link
+from .queueing import DEFAULT_CAPACITY
+from .sim import Simulator
+from .switch import Switch
+
+#: Default link rate for experiments, bits/second.  2 Mb/s with 1 kB
+#: packets gives 250 pkt/s of service — small enough that queues of
+#: 25–75 packets build in seconds, matching the paper's timescales.
+DEFAULT_BANDWIDTH = 2_000_000.0
+
+#: Default one-way propagation delay, seconds.
+DEFAULT_DELAY = 0.000_2
+
+
+@dataclass
+class Topology:
+    """A wired set of switches, hosts and links over one simulator."""
+
+    sim: Simulator
+    switches: dict[str, Switch] = field(default_factory=dict)
+    hosts: dict[str, Host] = field(default_factory=dict)
+    links: list[Link] = field(default_factory=list)
+    _next_port: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_switch(self, name: str, default_action: Action | None = None) -> Switch:
+        if name in self.switches or name in self.hosts:
+            raise ValueError(f"duplicate node name {name!r}")
+        switch = Switch(self.sim, name, default_action)
+        self.switches[name] = switch
+        self._next_port[name] = 1
+        return switch
+
+    def add_host(self, name: str, ip: str) -> Host:
+        if name in self.switches or name in self.hosts:
+            raise ValueError(f"duplicate node name {name!r}")
+        host = Host(self.sim, name, ip)
+        self.hosts[name] = host
+        return host
+
+    def node(self, name: str) -> Switch | Host:
+        if name in self.switches:
+            return self.switches[name]
+        if name in self.hosts:
+            return self.hosts[name]
+        raise KeyError(f"unknown node {name!r}")
+
+    def connect(
+        self,
+        name_a: str,
+        name_b: str,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH,
+        delay: float = DEFAULT_DELAY,
+        queue_capacity: int = DEFAULT_CAPACITY,
+        bandwidth_ba_bps: float | None = None,
+    ) -> Link:
+        """Wire two nodes together; port numbers are auto-assigned
+        (hosts always use their single NIC port 0)."""
+        node_a, node_b = self.node(name_a), self.node(name_b)
+        port_a = self._allocate_port(name_a)
+        port_b = self._allocate_port(name_b)
+        link = Link(
+            self.sim, node_a, port_a, node_b, port_b,
+            bandwidth_bps, delay, queue_capacity, bandwidth_ba_bps,
+        )
+        self.links.append(link)
+        return link
+
+    def _allocate_port(self, name: str) -> int:
+        if name in self.hosts:
+            return Host.NIC_PORT
+        port = self._next_port[name]
+        self._next_port[name] = port + 1
+        return port
+
+    def port_towards(self, from_name: str, to_name: str) -> int:
+        """The local port on ``from_name`` whose link leads to ``to_name``."""
+        node_from = self.node(from_name)
+        node_to = self.node(to_name)
+        for link in self.links:
+            if link.node_a is node_from and link.node_b is node_to:
+                return link.port_a
+            if link.node_b is node_from and link.node_a is node_to:
+                return link.port_b
+        raise ValueError(f"no link between {from_name!r} and {to_name!r}")
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def install_route(
+        self, path: list[str], dst_ip: str, priority: int = 0
+    ) -> None:
+        """Install dst-IP forwarding entries along ``path``.
+
+        ``path`` names nodes from source to destination; entries are
+        installed on every switch in the path, forwarding toward the
+        next hop.
+        """
+        if len(path) < 2:
+            raise ValueError("path needs at least two nodes")
+        for here, nxt in zip(path, path[1:]):
+            if here not in self.switches:
+                continue
+            out_port = self.port_towards(here, nxt)
+            self.switches[here].flow_table.install(
+                Match(dst_ip=dst_ip), Action.forward(out_port), priority
+            )
+
+
+# ----------------------------------------------------------------------
+# Canonical shapes
+# ----------------------------------------------------------------------
+
+
+#: Host access links run this many times faster than backbone links by
+#: default, so congestion forms at switch egress queues (where the
+#: paper's tc measurements and chirps happen), not at the sender's NIC.
+ACCESS_SPEEDUP = 5.0
+
+
+def single_switch_topology(
+    sim: Simulator,
+    num_hosts: int = 2,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH,
+    delay: float = DEFAULT_DELAY,
+    queue_capacity: int = DEFAULT_CAPACITY,
+    default_action: Action | None = None,
+    access_bandwidth_bps: float | None = None,
+) -> Topology:
+    """``num_hosts`` hosts hanging off one switch ``s1``.
+
+    Hosts are ``h1..hN`` with IPs ``10.0.0.1..N``; routes between all
+    host pairs are installed unless ``default_action`` is given (the
+    port-knocking experiment starts with a *closed* switch instead).
+    Ingress (host→switch) links are faster than the egress links by
+    ``ACCESS_SPEEDUP`` so the switch egress queue is the bottleneck.
+    """
+    if num_hosts < 1:
+        raise ValueError("need at least one host")
+    access = access_bandwidth_bps or bandwidth_bps * ACCESS_SPEEDUP
+    topo = Topology(sim)
+    topo.add_switch("s1", default_action)
+    for index in range(1, num_hosts + 1):
+        name, ip = f"h{index}", f"10.0.0.{index}"
+        topo.add_host(name, ip)
+        # Host→switch fast, switch→host at line rate: the switch egress
+        # queue toward the receiver is the bottleneck.
+        topo.connect(name, "s1", access, delay, queue_capacity,
+                     bandwidth_ba_bps=bandwidth_bps)
+    if default_action is None:
+        for index in range(1, num_hosts + 1):
+            topo.install_route(["s1", f"h{index}"], f"10.0.0.{index}")
+    return topo
+
+
+def rhombus_topology(
+    sim: Simulator,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH,
+    delay: float = DEFAULT_DELAY,
+    queue_capacity: int = DEFAULT_CAPACITY,
+) -> Topology:
+    """The §6 load-balancing rhombus.
+
+    ::
+
+                 s_top
+                /      \\
+        h1 - s_in      s_out - h2
+                \\      /
+                 s_bottom
+
+    Initially all h1→h2 traffic is routed over the *top* path (the
+    single path the paper starts with); the MDN load balancer later
+    installs a SPLIT entry at ``s_in``.  The reverse path is routed via
+    the bottom so reverse traffic never competes with the congested
+    forward path.
+    """
+    topo = Topology(sim)
+    for name in ("s_in", "s_top", "s_bottom", "s_out"):
+        topo.add_switch(name)
+    topo.add_host("h1", "10.0.0.1")
+    topo.add_host("h2", "10.0.0.2")
+    # Access links are fast so the path bottleneck is the s_in egress
+    # toward s_top — the queue the load balancer listens to.
+    access = bandwidth_bps * ACCESS_SPEEDUP
+    topo.connect("h1", "s_in", access, delay, queue_capacity)
+    topo.connect("s_in", "s_top", bandwidth_bps, delay, queue_capacity)
+    topo.connect("s_in", "s_bottom", bandwidth_bps, delay, queue_capacity)
+    topo.connect("s_top", "s_out", bandwidth_bps, delay, queue_capacity)
+    topo.connect("s_bottom", "s_out", bandwidth_bps, delay, queue_capacity)
+    topo.connect("s_out", "h2", access, delay, queue_capacity)
+    # Forward default: top path.  The bottom path's switches still know
+    # how to reach both hosts so a later SPLIT at s_in works.
+    topo.install_route(["s_in", "s_top", "s_out", "h2"], "10.0.0.2")
+    topo.install_route(["s_bottom", "s_out", "h2"], "10.0.0.2")
+    topo.install_route(["s_out", "s_bottom", "s_in", "h1"], "10.0.0.1")
+    topo.install_route(["s_top", "s_in", "h1"], "10.0.0.1")
+    return topo
+
+
+def linear_topology(
+    sim: Simulator,
+    num_switches: int = 3,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH,
+    delay: float = DEFAULT_DELAY,
+    queue_capacity: int = DEFAULT_CAPACITY,
+) -> Topology:
+    """``h1 - s1 - s2 - ... - sN - h2`` with both routes installed."""
+    if num_switches < 1:
+        raise ValueError("need at least one switch")
+    topo = Topology(sim)
+    names = [f"s{index}" for index in range(1, num_switches + 1)]
+    for name in names:
+        topo.add_switch(name)
+    topo.add_host("h1", "10.0.0.1")
+    topo.add_host("h2", "10.0.0.2")
+    topo.connect("h1", names[0], bandwidth_bps, delay, queue_capacity)
+    for here, nxt in zip(names, names[1:]):
+        topo.connect(here, nxt, bandwidth_bps, delay, queue_capacity)
+    topo.connect(names[-1], "h2", bandwidth_bps, delay, queue_capacity)
+    topo.install_route(names + ["h2"], "10.0.0.2")
+    topo.install_route(list(reversed(names)) + ["h1"], "10.0.0.1")
+    return topo

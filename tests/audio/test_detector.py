@@ -1,0 +1,123 @@
+"""Unit tests for the known-frequency detector (both backends)."""
+
+import numpy as np
+import pytest
+
+from repro.audio import (
+    AudioSignal,
+    FrequencyDetector,
+    SongNoise,
+    sine_tone,
+    white_noise,
+)
+
+BACKENDS = ("fft", "goertzel")
+
+
+class TestConstruction:
+    def test_requires_frequencies(self):
+        with pytest.raises(ValueError):
+            FrequencyDetector([])
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            FrequencyDetector([1000], tolerance_hz=0)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            FrequencyDetector([1000], backend="wavelet")
+
+    def test_deduplicates_watch_list(self):
+        detector = FrequencyDetector([1000, 1000.0, 2000])
+        assert detector.watched == [1000.0, 2000.0]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestDetection:
+    def test_single_tone(self, backend):
+        detector = FrequencyDetector([500, 1000, 1500], backend=backend)
+        events = detector.detect(sine_tone(1000, 0.1, level_db=60.0))
+        assert [e.frequency for e in events] == [1000.0]
+
+    def test_level_reported(self, backend):
+        detector = FrequencyDetector([1000], backend=backend)
+        events = detector.detect(sine_tone(1000, 0.1, level_db=60.0))
+        assert events[0].level_db == pytest.approx(60.0, abs=1.0)
+
+    def test_simultaneous_tones(self, backend):
+        detector = FrequencyDetector([500, 1000, 1500], backend=backend)
+        mix = AudioSignal.from_components([
+            sine_tone(500, 0.2, level_db=60.0),
+            sine_tone(1500, 0.2, level_db=58.0),
+        ])
+        events = detector.detect(mix)
+        assert [e.frequency for e in events] == [500.0, 1500.0]
+
+    def test_below_min_level_ignored(self, backend):
+        detector = FrequencyDetector([1000], min_level_db=30.0, backend=backend)
+        events = detector.detect(sine_tone(1000, 0.1, level_db=20.0))
+        assert events == []
+
+    def test_empty_window(self, backend):
+        detector = FrequencyDetector([1000], backend=backend)
+        assert detector.detect(AudioSignal(np.zeros(0))) == []
+
+    def test_silence(self, backend):
+        detector = FrequencyDetector([1000], backend=backend)
+        assert detector.detect(AudioSignal.silence(0.1)) == []
+
+    def test_noise_robustness(self, backend, rng):
+        detector = FrequencyDetector([800, 1200], backend=backend)
+        mix = sine_tone(1200, 0.2, level_db=65.0).mix(
+            white_noise(0.2, level_db=45.0, rng=rng)
+        )
+        events = detector.detect(mix)
+        assert [e.frequency for e in events] == [1200.0]
+
+    def test_song_noise_robustness(self, backend):
+        """The Figure 4b/4d condition: detection with a pop song in the
+        room.  The watched tone must still be found and the song's own
+        notes must not register as watched tones."""
+        detector = FrequencyDetector([3000, 3100], backend=backend)
+        song = SongNoise(seed=4, level_db=55.0).render(0.3)
+        mix = sine_tone(3000, 0.3, level_db=68.0).mix(song)
+        events = detector.detect(mix)
+        assert [e.frequency for e in events] == [3000.0]
+
+    def test_time_propagated(self, backend):
+        detector = FrequencyDetector([1000], backend=backend)
+        events = detector.detect(sine_tone(1000, 0.1, level_db=60.0), time=42.5)
+        assert events[0].time == 42.5
+
+
+class TestFFTSpecifics:
+    def test_twenty_hz_separation_resolved(self):
+        """The paper's separability limit: two tones 20 Hz apart, both
+        identified, with a 200 ms window."""
+        detector = FrequencyDetector([1000, 1020])
+        mix = AudioSignal.from_components([
+            sine_tone(1000, 0.2, level_db=60.0),
+            sine_tone(1020, 0.2, level_db=60.0),
+        ])
+        events = detector.detect(mix)
+        assert [e.frequency for e in events] == [1000.0, 1020.0]
+
+    def test_sidelobe_of_loud_tone_rejected(self):
+        """A single loud tone must not trigger its 20 Hz neighbours."""
+        detector = FrequencyDetector([1000, 1020, 1040])
+        events = detector.detect(sine_tone(1000, 0.2, level_db=80.0))
+        assert [e.frequency for e in events] == [1000.0]
+
+    def test_tolerance_match(self):
+        """A tone 5 Hz off its plan frequency still matches (mic clock
+        drift), but 50 Hz off does not."""
+        detector = FrequencyDetector([1000], tolerance_hz=10.0)
+        near = detector.detect(sine_tone(1005, 0.2, level_db=60.0))
+        far = detector.detect(sine_tone(1050, 0.2, level_db=60.0))
+        assert [e.frequency for e in near] == [1000.0]
+        assert far == []
+
+    def test_measured_frequency_reported(self):
+        detector = FrequencyDetector([1000], tolerance_hz=10.0)
+        events = detector.detect(sine_tone(1004, 0.25, level_db=60.0))
+        assert events[0].measured_frequency == pytest.approx(1004, abs=2.0)

@@ -1,0 +1,83 @@
+"""Unit tests for speaker and microphone device models."""
+
+import numpy as np
+import pytest
+
+from repro.audio import (
+    AcousticChannel,
+    DeviceCapabilityError,
+    Microphone,
+    Position,
+    Speaker,
+    SpectrumAnalyzer,
+    ToneSpec,
+)
+
+
+class TestSpeakerValidation:
+    def test_accepts_in_envelope_tone(self, near_speaker):
+        near_speaker.validate(ToneSpec(1000, 0.1, 70.0))  # no raise
+
+    def test_rejects_low_frequency(self, near_speaker):
+        with pytest.raises(DeviceCapabilityError, match="band"):
+            near_speaker.validate(ToneSpec(50, 0.1, 70.0))
+
+    def test_rejects_high_frequency(self, near_speaker):
+        with pytest.raises(DeviceCapabilityError, match="band"):
+            near_speaker.validate(ToneSpec(12000, 0.1, 70.0))
+
+    def test_rejects_too_short(self, near_speaker):
+        """The paper's testbed could not gate tones under ~30 ms."""
+        with pytest.raises(DeviceCapabilityError, match="ms"):
+            near_speaker.validate(ToneSpec(1000, 0.01, 70.0))
+
+    def test_rejects_too_loud(self, near_speaker):
+        with pytest.raises(DeviceCapabilityError, match="dB"):
+            near_speaker.validate(ToneSpec(1000, 0.1, 120.0))
+
+    def test_play_schedules_on_channel(self, channel, near_speaker):
+        near_speaker.play(channel, 0.5, ToneSpec(1000, 0.1, 70.0))
+        assert len(channel.scheduled_tones) == 1
+        assert channel.scheduled_tones[0].position == near_speaker.position
+
+    def test_play_rejects_invalid(self, channel, near_speaker):
+        with pytest.raises(DeviceCapabilityError):
+            near_speaker.play(channel, 0.0, ToneSpec(1000, 0.001, 70.0))
+        assert len(channel.scheduled_tones) == 0
+
+
+class TestMicrophone:
+    def test_rate_mismatch_rejected(self):
+        channel = AcousticChannel(sample_rate=16000)
+        mic = Microphone(sample_rate=44100)
+        with pytest.raises(ValueError):
+            mic.record(channel, 0.0, 0.1)
+
+    def test_capture_is_deterministic(self, channel, near_speaker):
+        near_speaker.play(channel, 0.0, ToneSpec(1000, 0.2, 70.0))
+        mic = Microphone(seed=5)
+        first = mic.record(channel, 0.0, 0.2)
+        second = mic.record(channel, 0.0, 0.2)
+        np.testing.assert_array_equal(first.samples, second.samples)
+
+    def test_distinct_windows_have_independent_noise(self, channel):
+        mic = Microphone(seed=5, self_noise_db=40.0)
+        first = mic.record(channel, 0.0, 0.1)
+        second = mic.record(channel, 0.1, 0.2)
+        assert not np.array_equal(first.samples, second.samples)
+
+    def test_self_noise_floor_level(self, channel):
+        mic = Microphone(self_noise_db=30.0)
+        capture = mic.record(channel, 0.0, 0.5)
+        assert capture.level_db() == pytest.approx(30.0, abs=1.0)
+
+    def test_signal_rises_above_self_noise(self, channel, near_speaker, analyzer):
+        near_speaker.play(channel, 0.0, ToneSpec(1000, 0.3, 70.0))
+        mic = Microphone(self_noise_db=20.0)
+        capture = mic.record(channel, 0.05, 0.25)
+        spectrum = analyzer.analyze(capture)
+        assert spectrum.level_at(1000) > spectrum.noise_floor_db() + 30
+
+    def test_empty_window(self, channel):
+        mic = Microphone()
+        assert len(mic.record(channel, 1.0, 1.0)) == 0

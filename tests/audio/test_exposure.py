@@ -1,0 +1,66 @@
+"""Tests for the operator sound-exposure meter."""
+
+import pytest
+
+from repro.audio import AcousticChannel, Position, Speaker, ToneSpec
+from repro.audio.exposure import ExposureMeter
+from repro.audio.noise import white_noise
+import numpy as np
+
+
+class TestValidation:
+    def test_window_positive(self):
+        with pytest.raises(ValueError):
+            ExposureMeter(AcousticChannel(), Position(), window=0)
+
+    def test_measure_order(self):
+        meter = ExposureMeter(AcousticChannel(), Position())
+        with pytest.raises(ValueError):
+            meter.measure(2.0, 1.0)
+
+
+class TestMetrics:
+    def test_silence_report(self):
+        meter = ExposureMeter(AcousticChannel(), Position())
+        report = meter.measure(0.0, 2.0)
+        assert report.leq_db < -60
+        assert report.fraction_above == 0.0
+
+    def test_steady_noise_leq_matches_level(self):
+        channel = AcousticChannel()
+        channel.add_noise(
+            white_noise(1.0, level_db=60.0, rng=np.random.default_rng(1)),
+            Position(),
+        )
+        meter = ExposureMeter(channel, Position())
+        report = meter.measure(0.0, 3.0)
+        assert report.leq_db == pytest.approx(60.0, abs=1.0)
+        assert report.fraction_above == 1.0
+
+    def test_duty_cycle_reflected(self):
+        """A tone sounding a quarter of the time: Leq sits ~6 dB below
+        the tone level and fraction_above ~ the duty cycle."""
+        channel = AcousticChannel()
+        speaker = Speaker(Position(1.0, 0.0, 0.0))
+        for start in (0.0, 1.0, 2.0, 3.0):
+            speaker.play(channel, start, ToneSpec(1000, 0.25, 70.0))
+        meter = ExposureMeter(channel, Position(), window=0.25,
+                              threshold_db=55.0)
+        report = meter.measure(0.0, 4.0)
+        assert report.leq_db == pytest.approx(70.0 - 6.0, abs=1.5)
+        assert report.fraction_above == pytest.approx(0.25, abs=0.1)
+        assert report.l_max_db == pytest.approx(70.0, abs=1.0)
+
+    def test_distance_reduces_exposure(self):
+        channel = AcousticChannel()
+        Speaker(Position(0.0, 0.0, 0.0)).play(
+            channel, 0.0, ToneSpec(1000, 2.0, 75.0)
+        )
+        near = ExposureMeter(channel, Position(1.0, 0, 0)).measure(0.0, 2.0)
+        far = ExposureMeter(channel, Position(10.0, 0, 0)).measure(0.0, 2.0)
+        assert near.leq_db - far.leq_db == pytest.approx(20.0, abs=1.0)
+
+    def test_empty_report(self):
+        meter = ExposureMeter(AcousticChannel(), Position())
+        report = meter.report()
+        assert report.duration == 0.0

@@ -1,0 +1,72 @@
+"""Unit tests for the Goertzel detection backend."""
+
+import numpy as np
+import pytest
+
+from repro.audio import (
+    AudioSignal,
+    GoertzelBank,
+    SpectrumAnalyzer,
+    goertzel_magnitude,
+    sine_tone,
+    white_noise,
+)
+
+
+class TestGoertzelMagnitude:
+    def test_matches_fft_calibration(self):
+        """Goertzel and the FFT backend agree on a tone's level."""
+        tone = sine_tone(1000, 0.1, level_db=60.0)
+        fft_level = SpectrumAnalyzer().analyze(tone).level_at(1000)
+        from repro.audio import amplitude_to_db
+        goertzel_level = amplitude_to_db(goertzel_magnitude(tone, 1000))
+        assert goertzel_level == pytest.approx(fft_level, abs=0.1)
+
+    def test_off_tone_magnitude_is_small(self):
+        tone = sine_tone(1000, 0.1, level_db=60.0)
+        on = goertzel_magnitude(tone, 1000)
+        off = goertzel_magnitude(tone, 2000)
+        assert on > 1000 * off
+
+    def test_empty_signal(self):
+        assert goertzel_magnitude(AudioSignal(np.zeros(0)), 440) == 0.0
+
+    def test_rejects_out_of_range_frequency(self):
+        tone = sine_tone(1000, 0.05)
+        with pytest.raises(ValueError):
+            goertzel_magnitude(tone, -1.0)
+        with pytest.raises(ValueError):
+            goertzel_magnitude(tone, 9000.0)
+
+
+class TestGoertzelBank:
+    def test_requires_frequencies(self):
+        with pytest.raises(ValueError):
+            GoertzelBank([])
+
+    def test_analyze_returns_all_watched(self):
+        bank = GoertzelBank([500, 1000, 1500])
+        results = bank.analyze(sine_tone(1000, 0.1, level_db=60.0))
+        assert [r.frequency for r in results] == [500, 1000, 1500]
+
+    def test_detect_picks_present_tone(self):
+        bank = GoertzelBank([500, 1000, 1500])
+        hits = bank.detect(sine_tone(1000, 0.1, level_db=60.0))
+        assert [h.frequency for h in hits] == [1000]
+
+    def test_detect_with_noise(self, rng):
+        bank = GoertzelBank([500, 1000, 1500])
+        mix = sine_tone(1500, 0.2, level_db=65.0).mix(
+            white_noise(0.2, level_db=40.0, rng=rng)
+        )
+        hits = bank.detect(mix)
+        assert [h.frequency for h in hits] == [1500]
+
+    def test_detect_multiple_simultaneous(self):
+        bank = GoertzelBank([500, 1000, 1500])
+        mix = AudioSignal.from_components([
+            sine_tone(500, 0.2, level_db=60.0),
+            sine_tone(1500, 0.2, level_db=62.0),
+        ])
+        hits = bank.detect(mix)
+        assert {h.frequency for h in hits} == {500, 1500}

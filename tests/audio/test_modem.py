@@ -1,0 +1,138 @@
+"""Unit tests for the FSK acoustic data modem."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audio import (
+    AcousticChannel,
+    FskReceiver,
+    FskTransmitter,
+    Microphone,
+    ModemConfig,
+    ModemError,
+    Position,
+    SongNoise,
+    Speaker,
+    default_modem_config,
+)
+from repro.core import FrequencyPlan
+
+
+@pytest.fixture
+def config():
+    plan = FrequencyPlan(low_hz=1000.0, guard_hz=40.0)
+    return default_modem_config(plan.allocate("modem", 5))
+
+
+def roundtrip(config, payload, noise=None, mic_seed=9):
+    channel = AcousticChannel()
+    if noise is not None:
+        channel.add_noise(noise, Position(2.0, 2.0, 0.0))
+    transmitter = FskTransmitter(config, Speaker(Position(0.6, 0.0, 0.0)))
+    end = transmitter.send(channel, 0.5, payload)
+    capture = Microphone(Position(), seed=mic_seed).record(
+        channel, 0.0, end + 0.3
+    )
+    return FskReceiver(config).decode(capture, 0.0)
+
+
+class TestConfig:
+    def test_alphabet_must_pack_into_bytes(self):
+        with pytest.raises(ValueError):
+            ModemConfig(frequencies=(500.0, 540.0, 580.0),
+                        preamble_frequency=460.0)
+        # 8-FSK (3 bits/symbol) straddles byte boundaries: rejected.
+        with pytest.raises(ValueError):
+            ModemConfig(
+                frequencies=tuple(500.0 + 40.0 * i for i in range(8)),
+                preamble_frequency=460.0,
+            )
+
+    def test_preamble_not_in_alphabet(self):
+        with pytest.raises(ValueError):
+            ModemConfig(frequencies=(500.0, 540.0),
+                        preamble_frequency=500.0)
+
+    def test_throughput_math(self, config):
+        # 4-FSK = 2 bits/symbol at 75 ms/symbol -> ~26.7 bit/s.
+        assert config.bits_per_symbol == 2
+        assert config.bits_per_second == pytest.approx(26.7, abs=0.1)
+
+    def test_twenty_bytes_takes_seconds(self, config):
+        """The paper cites ~6 s for a 20-byte packet over one acoustic
+        hop; our defaults land in the same regime."""
+        assert 4.0 < config.frame_airtime(20) < 10.0
+
+    def test_default_config_needs_five_frequencies(self):
+        plan = FrequencyPlan(low_hz=1000.0, guard_hz=40.0)
+        with pytest.raises(ValueError):
+            default_modem_config(plan.allocate("small", 3))
+
+
+class TestRoundtrip:
+    def test_short_payload(self, config):
+        assert roundtrip(config, b"hi") == b"hi"
+
+    def test_longer_payload(self, config):
+        payload = b"MDN management alert: fan 3 failing"
+        assert roundtrip(config, payload) == payload
+
+    def test_empty_payload(self, config):
+        assert roundtrip(config, b"") == b""
+
+    def test_binary_payload(self, config):
+        payload = bytes(range(0, 256, 17))
+        assert roundtrip(config, payload) == payload
+
+    def test_roundtrip_with_song_noise(self, config):
+        song = SongNoise(seed=5, level_db=50.0).render(6.0)
+        assert roundtrip(config, b"noisy", noise=song) == b"noisy"
+
+    def test_payload_too_long_rejected(self, config):
+        transmitter = FskTransmitter(config, Speaker())
+        with pytest.raises(ValueError, match="too long"):
+            transmitter.send(AcousticChannel(), 0.0, bytes(300))
+
+    @settings(max_examples=10, deadline=None)
+    @given(payload=st.binary(min_size=1, max_size=8))
+    def test_roundtrip_property(self, payload):
+        plan = FrequencyPlan(low_hz=1000.0, guard_hz=40.0)
+        fresh_config = default_modem_config(plan.allocate("modem", 5))
+        assert roundtrip(fresh_config, payload) == payload
+
+    def test_bfsk_roundtrip(self):
+        """2-FSK: one bit per symbol, slowest but simplest alphabet."""
+        config = ModemConfig(frequencies=(1200.0, 1280.0),
+                             preamble_frequency=1100.0)
+        assert config.bits_per_symbol == 1
+        assert roundtrip(config, b"slow") == b"slow"
+
+    def test_16fsk_roundtrip(self):
+        """16-FSK: a nibble per symbol, twice the default throughput."""
+        config = ModemConfig(
+            frequencies=tuple(1200.0 + 60.0 * i for i in range(16)),
+            preamble_frequency=1100.0,
+        )
+        assert config.bits_per_symbol == 4
+        assert config.bits_per_second > 50.0
+        assert roundtrip(config, b"fast nibbles") == b"fast nibbles"
+
+
+class TestDecodeErrors:
+    def test_no_preamble(self, config):
+        channel = AcousticChannel()
+        capture = Microphone(Position(), seed=1).record(channel, 0.0, 1.0)
+        with pytest.raises(ModemError, match="preamble"):
+            FskReceiver(config).decode(capture, 0.0)
+
+    def test_truncated_frame(self, config):
+        channel = AcousticChannel()
+        transmitter = FskTransmitter(config, Speaker(Position(0.5, 0, 0)))
+        end = transmitter.send(channel, 0.1, b"hello world")
+        # Capture only half the frame.
+        capture = Microphone(Position(), seed=2).record(
+            channel, 0.0, 0.1 + (end - 0.1) / 2
+        )
+        with pytest.raises(ModemError):
+            FskReceiver(config).decode(capture, 0.0)

@@ -1,0 +1,103 @@
+"""Tests for acoustic multipath (echo taps) and detector robustness."""
+
+import pytest
+
+from repro.audio import (
+    AcousticChannel,
+    FrequencyDetector,
+    Microphone,
+    Position,
+    Speaker,
+    SpectrumAnalyzer,
+    ToneSpec,
+)
+
+
+def echoey_channel(taps=((0.013, 9.0), (0.031, 14.0))):
+    """A room with two early reflections (4.5 m and 10.6 m extra path)."""
+    return AcousticChannel(echo_taps=taps)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_delay(self):
+        with pytest.raises(ValueError):
+            AcousticChannel(echo_taps=((0.0, 6.0),))
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(ValueError):
+            AcousticChannel(echo_taps=((0.01, -3.0),))
+
+
+class TestEchoRendering:
+    def test_echo_extends_the_tail(self):
+        """After the direct tone ends, the echo is still sounding."""
+        channel = echoey_channel(taps=((0.05, 6.0),))
+        Speaker(Position(0.5, 0, 0)).play(channel, 0.0,
+                                          ToneSpec(1000, 0.1, 70.0))
+        direct_end = 0.1 + 0.5 / 343.0
+        tail = channel.render_at(Position(), direct_end + 0.01,
+                                 direct_end + 0.04)
+        assert tail.rms() > 0.0
+
+    def test_echo_is_quieter(self):
+        channel = echoey_channel(taps=((0.05, 12.0),))
+        Speaker(Position(0.5, 0, 0)).play(channel, 0.0,
+                                          ToneSpec(1000, 0.04, 70.0))
+        analyzer = SpectrumAnalyzer()
+        direct = analyzer.analyze(
+            channel.render_at(Position(), 0.0, 0.045)
+        ).level_at(1000)
+        echo = analyzer.analyze(
+            channel.render_at(Position(), 0.05, 0.095)
+        ).level_at(1000)
+        assert direct - echo == pytest.approx(12.0, abs=1.5)
+
+    def test_no_taps_no_tail(self):
+        channel = AcousticChannel()
+        Speaker(Position(0.5, 0, 0)).play(channel, 0.0,
+                                          ToneSpec(1000, 0.1, 70.0))
+        tail = channel.render_at(Position(), 0.2, 0.3)
+        assert tail.rms() == 0.0
+
+
+class TestDetectionUnderMultipath:
+    def test_tone_still_detected(self):
+        channel = echoey_channel()
+        Speaker(Position(0.6, 0, 0)).play(channel, 0.1,
+                                          ToneSpec(1500, 0.2, 70.0))
+        window = Microphone(Position(), seed=3).record(channel, 0.12, 0.3)
+        detector = FrequencyDetector([1500.0])
+        events = detector.detect(window)
+        assert [event.frequency for event in events] == [1500.0]
+
+    def test_no_phantom_frequencies(self):
+        """Echoes are copies at the SAME frequency; the watched
+        neighbours must stay silent."""
+        channel = echoey_channel()
+        Speaker(Position(0.6, 0, 0)).play(channel, 0.1,
+                                          ToneSpec(1500, 0.2, 70.0))
+        window = Microphone(Position(), seed=3).record(channel, 0.12, 0.3)
+        detector = FrequencyDetector([1460.0, 1480.0, 1500.0, 1520.0, 1540.0])
+        events = detector.detect(window)
+        assert [event.frequency for event in events] == [1500.0]
+
+    def test_knock_sequence_survives_echo(self):
+        """Echoes smear tones toward the *next* listening window; the
+        onset logic must not double-count a knock."""
+        from repro.core import MDNController
+
+        from repro.net import Simulator
+
+        sim = Simulator()
+        channel = echoey_channel(taps=((0.08, 8.0),))
+        from repro.core.agent import MusicAgent
+        agent = MusicAgent(sim, channel, Speaker(Position(0.6, 0, 0)))
+        controller = MDNController(sim, channel,
+                                   Microphone(Position(), seed=7),
+                                   listen_interval=0.1)
+        onsets = []
+        controller.watch([2000.0], on_onset=onsets.append)
+        controller.start()
+        sim.schedule_at(0.52, lambda: agent.play(2000.0, 0.12, 70.0))
+        sim.run(2.0)
+        assert len(onsets) == 1

@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for the acoustic substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audio import (
+    AudioSignal,
+    FrequencyDetector,
+    amplitude_to_db,
+    db_to_amplitude,
+    hz_to_mel,
+    mel_to_hz,
+    propagation_loss_db,
+    sine_tone,
+)
+
+levels = st.floats(min_value=-20.0, max_value=120.0)
+frequencies = st.floats(min_value=200.0, max_value=7000.0)
+distances = st.floats(min_value=0.05, max_value=100.0)
+
+
+class TestDbProperties:
+    @given(levels)
+    def test_db_roundtrip(self, level):
+        assert abs(amplitude_to_db(db_to_amplitude(level)) - level) < 1e-9
+
+    @given(levels, levels)
+    def test_db_monotonic(self, a, b):
+        if a + 1e-9 < b:  # require a resolvable gap in float64
+            assert db_to_amplitude(a) < db_to_amplitude(b)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6),
+           st.floats(min_value=1e-6, max_value=1e6))
+    def test_amplitude_ratio_is_db_difference(self, x, y):
+        diff = amplitude_to_db(x) - amplitude_to_db(y)
+        assert abs(diff - 20.0 * np.log10(x / y)) < 1e-6
+
+
+class TestMelProperties:
+    @given(st.floats(min_value=0.0, max_value=20000.0))
+    def test_mel_roundtrip(self, freq):
+        assert abs(mel_to_hz(hz_to_mel(freq)) - freq) < max(1e-6 * freq, 1e-6)
+
+    @given(st.floats(min_value=0.0, max_value=20000.0),
+           st.floats(min_value=0.0, max_value=20000.0))
+    def test_mel_order_preserving(self, a, b):
+        if a + 1e-9 < b:  # require a float64-resolvable gap
+            assert hz_to_mel(a) < hz_to_mel(b)
+
+
+class TestPropagationProperties:
+    @given(distances, distances)
+    def test_loss_monotonic_in_distance(self, a, b):
+        if a < b:
+            assert propagation_loss_db(a) <= propagation_loss_db(b)
+
+    @given(distances)
+    def test_loss_nonnegative(self, d):
+        assert propagation_loss_db(d) >= 0.0
+
+
+class TestDetectionProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        frequency=st.floats(min_value=400.0, max_value=6000.0),
+        level=st.floats(min_value=45.0, max_value=85.0),
+    )
+    def test_any_plan_tone_is_detected(self, frequency, level):
+        """Any watched tone in the working band and level range is
+        found, and reported near its true level."""
+        # Snap onto a 20 Hz grid like a real plan.
+        frequency = round(frequency / 20.0) * 20.0
+        detector = FrequencyDetector([frequency])
+        events = detector.detect(sine_tone(frequency, 0.15, level_db=level))
+        assert len(events) == 1
+        assert abs(events[0].level_db - level) < 2.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        data=st.data(),
+    )
+    def test_disjoint_tones_all_detected(self, data):
+        """Several grid frequencies played together are all identified
+        and nothing else is."""
+        slots = data.draw(
+            st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                     max_size=4, unique=True)
+        )
+        plan = [500.0 + 40.0 * slot for slot in range(0, 101, 2)]
+        played = [500.0 + 40.0 * slot for slot in slots]
+        # Keep only frequencies on the watched grid (even slots).
+        played = [freq for freq in played if freq in plan] or [plan[0]]
+        mix = AudioSignal.from_components(
+            [sine_tone(freq, 0.2, level_db=62.0) for freq in played]
+        )
+        detector = FrequencyDetector(plan)
+        events = detector.detect(mix)
+        assert {event.frequency for event in events} == set(played)
+
+
+class TestSignalProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        gain=st.floats(min_value=0.01, max_value=100.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_scale_scales_rms(self, gain, seed):
+        rng = np.random.default_rng(seed)
+        signal = AudioSignal(rng.standard_normal(256))
+        assert abs(signal.scale(gain).rms() - gain * signal.rms()) < 1e-9 * max(
+            1.0, gain
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_mix_energy_superposition(self, seed):
+        """Mixing a signal with silence leaves it unchanged."""
+        rng = np.random.default_rng(seed)
+        signal = AudioSignal(rng.standard_normal(128))
+        mixed = signal.mix(AudioSignal.silence(len(signal) / 16000))
+        np.testing.assert_allclose(mixed.samples, signal.samples)

@@ -1,0 +1,176 @@
+"""Unit tests for tone synthesis: calibration, envelopes, sequences."""
+
+import numpy as np
+import pytest
+
+from repro.audio import (
+    AudioSignal,
+    SpectrumAnalyzer,
+    ToneSpec,
+    chirp,
+    harmonic_tone,
+    raised_cosine_envelope,
+    sine_tone,
+    tone_sequence,
+)
+
+
+class TestSineTone:
+    def test_rms_level_is_calibrated(self):
+        tone = sine_tone(1000, 0.5, level_db=60.0)
+        # Envelope slightly reduces RMS; allow 0.3 dB.
+        assert tone.level_db() == pytest.approx(60.0, abs=0.3)
+
+    def test_length(self):
+        tone = sine_tone(500, 0.1, sample_rate=16000)
+        assert len(tone) == 1600
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            sine_tone(0, 0.1)
+        with pytest.raises(ValueError):
+            sine_tone(-100, 0.1)
+
+    def test_rejects_above_nyquist(self):
+        with pytest.raises(ValueError, match="Nyquist"):
+            sine_tone(9000, 0.1, sample_rate=16000)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            sine_tone(440, 0.0)
+
+    def test_spectral_purity(self, analyzer):
+        """Energy concentrates at the requested frequency."""
+        tone = sine_tone(1200, 0.2, level_db=70.0)
+        spectrum = analyzer.analyze(tone)
+        peak = analyzer.find_peaks(spectrum, threshold_db=20.0)[0]
+        assert peak.frequency == pytest.approx(1200, abs=2.0)
+
+    def test_envelope_reduces_edge_amplitude(self):
+        shaped = sine_tone(1000, 0.1, ramp=0.01)
+        hard = sine_tone(1000, 0.1, ramp=0.0)
+        # First sample region of shaped tone is quieter than rectangular.
+        assert np.max(np.abs(shaped.samples[:20])) < np.max(np.abs(hard.samples[:20])) + 1e-12
+        assert abs(shaped.samples[0]) < 1e-9
+
+    def test_envelope_suppresses_sidelobes(self):
+        """The shaped tone leaks less energy 100 Hz away than the
+        rectangular tone — the reason ramping is the default.  Measured
+        with a rectangular analysis window so the tone's own envelope
+        (not the analyzer's Hann taper) is what is being compared."""
+        rect_analyzer = SpectrumAnalyzer(window="rect", zero_pad_factor=2)
+        # Fractional-bin frequency: worst-case leakage for a raw tone.
+        freq = 1003.7
+        shaped = sine_tone(freq, 0.1, level_db=70.0, ramp=0.01)
+        hard = sine_tone(freq, 0.1, level_db=70.0, ramp=0.0)
+        off = freq + 150.0
+        shaped_leak = rect_analyzer.analyze(shaped).magnitude_at(off)
+        hard_leak = rect_analyzer.analyze(hard).magnitude_at(off)
+        assert shaped_leak < hard_leak
+
+
+class TestEnvelope:
+    def test_zero_length(self):
+        assert len(raised_cosine_envelope(0, 16000)) == 0
+
+    def test_flat_top(self):
+        env = raised_cosine_envelope(1600, 16000, ramp=0.01)
+        assert env[800] == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        env = raised_cosine_envelope(1000, 16000, ramp=0.01)
+        np.testing.assert_allclose(env, env[::-1], atol=1e-12)
+
+    def test_short_tone_ramp_shrinks(self):
+        # 10-sample tone with a 100-sample ramp request must not error.
+        env = raised_cosine_envelope(10, 16000, ramp=1.0)
+        assert len(env) == 10
+        assert env[0] < env[4]
+
+
+class TestHarmonicTone:
+    def test_contains_harmonics(self, analyzer):
+        tone = harmonic_tone(500, 0.2, level_db=70.0, num_harmonics=3)
+        spectrum = analyzer.analyze(tone)
+        for k in (1, 2, 3):
+            assert spectrum.level_at(500 * k) > 40.0
+
+    def test_harmonics_roll_off(self, analyzer):
+        tone = harmonic_tone(500, 0.2, level_db=70.0, harmonic_rolloff_db=10.0)
+        spectrum = analyzer.analyze(tone)
+        assert spectrum.level_at(500) > spectrum.level_at(1000) > spectrum.level_at(1500)
+
+    def test_harmonics_above_nyquist_skipped(self):
+        tone = harmonic_tone(3000, 0.1, num_harmonics=10, sample_rate=16000)
+        assert len(tone) > 0  # does not raise
+
+    def test_rejects_zero_harmonics(self):
+        with pytest.raises(ValueError):
+            harmonic_tone(500, 0.1, num_harmonics=0)
+
+
+class TestChirp:
+    def test_sweeps_band(self, analyzer):
+        sweep = chirp(500, 2000, 1.0, level_db=70.0)
+        early = analyzer.analyze(sweep.slice_time(0.0, 0.1))
+        late = analyzer.analyze(sweep.slice_time(0.9, 1.0))
+        early_peak = analyzer.find_peaks(early, 10.0)[0].frequency
+        late_peak = analyzer.find_peaks(late, 10.0)[0].frequency
+        assert early_peak < 800
+        assert late_peak > 1700
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            chirp(0, 1000, 1.0)
+        with pytest.raises(ValueError):
+            chirp(500, 9000, 1.0, sample_rate=16000)
+        with pytest.raises(ValueError):
+            chirp(500, 1000, 0.0)
+
+
+class TestToneSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ToneSpec(-1, 0.1)
+        with pytest.raises(ValueError):
+            ToneSpec(440, 0)
+
+    def test_render_matches_sine_with_signalling_ramp(self):
+        from repro.audio import signalling_ramp
+        spec = ToneSpec(880, 0.1, 65.0)
+        rendered = spec.render()
+        direct = sine_tone(880, 0.1, 65.0, ramp=signalling_ramp(0.1))
+        np.testing.assert_allclose(rendered.samples, direct.samples)
+
+    def test_render_explicit_ramp_override(self):
+        spec = ToneSpec(880, 0.1, 65.0)
+        rendered = spec.render(ramp=0.005)
+        direct = sine_tone(880, 0.1, 65.0, ramp=0.005)
+        np.testing.assert_allclose(rendered.samples, direct.samples)
+
+    def test_signalling_ramp_rule(self):
+        from repro.audio import MAX_SIGNALLING_RAMP, signalling_ramp
+        assert signalling_ramp(0.04) == pytest.approx(0.01)
+        assert signalling_ramp(1.0) == MAX_SIGNALLING_RAMP
+
+
+class TestToneSequence:
+    def test_empty(self):
+        assert len(tone_sequence([])) == 0
+
+    def test_total_duration(self):
+        specs = [ToneSpec(500, 0.1), ToneSpec(600, 0.1), ToneSpec(700, 0.1)]
+        melody = tone_sequence(specs, gap=0.05)
+        assert melody.duration == pytest.approx(0.4, abs=0.01)
+
+    def test_order_preserved(self, analyzer):
+        specs = [ToneSpec(500, 0.1, 70), ToneSpec(1500, 0.1, 70)]
+        melody = tone_sequence(specs, gap=0.02)
+        first = analyzer.analyze(melody.slice_time(0.0, 0.1))
+        second = analyzer.analyze(melody.slice_time(0.12, 0.22))
+        assert first.level_at(500) > first.level_at(1500)
+        assert second.level_at(1500) > second.level_at(500)
+
+    def test_rejects_negative_gap(self):
+        with pytest.raises(ValueError):
+            tone_sequence([ToneSpec(500, 0.1)], gap=-0.1)

@@ -1,0 +1,90 @@
+"""Unit tests for the ECN baseline."""
+
+import pytest
+
+from repro.baselines import ECNMarker, ECNReceiver, ECNSourceObserver
+from repro.net import (
+    ConstantRateSource,
+    FlowKey,
+    Packet,
+    Simulator,
+    single_switch_topology,
+)
+
+
+class TestECNMarker:
+    def test_marks_only_above_threshold(self):
+        sim = Simulator()
+        topo = single_switch_topology(sim, 2)
+        s1 = topo.switches["s1"]
+        port = topo.port_towards("s1", "h2")
+        direction = s1.ports[port]
+        marker = ECNMarker(direction, mark_threshold=2)
+        capable = Packet(FlowKey("a", "b", 1, 2), ecn_capable=True)
+        marker.maybe_mark(capable, 0.0)
+        assert not capable.ecn_marked  # queue empty
+        # Fill the queue artificially.
+        for _ in range(3):
+            direction.queue.enqueue(Packet(FlowKey("a", "b", 1, 2)))
+        marker.maybe_mark(capable, 1.0)
+        assert capable.ecn_marked
+        assert marker.marked_count == 1
+
+    def test_non_capable_packets_untouched(self):
+        sim = Simulator()
+        topo = single_switch_topology(sim, 2)
+        direction = topo.switches["s1"].ports[topo.port_towards("s1", "h2")]
+        marker = ECNMarker(direction, mark_threshold=1)
+        direction.queue.enqueue(Packet(FlowKey("a", "b", 1, 2)))
+        plain = Packet(FlowKey("a", "b", 1, 2), ecn_capable=False)
+        marker.maybe_mark(plain, 0.0)
+        assert not plain.ecn_marked
+
+    def test_validation(self):
+        sim = Simulator()
+        topo = single_switch_topology(sim, 2)
+        direction = topo.switches["s1"].ports[1]
+        with pytest.raises(ValueError):
+            ECNMarker(direction, mark_threshold=0)
+
+
+class TestEndToEndEcho:
+    def test_congestion_echo_reaches_source(self):
+        """Build the full ECN loop: congest the switch egress, mark,
+        deliver, echo, observe at the source."""
+        sim = Simulator()
+        topo = single_switch_topology(sim, 2, bandwidth_bps=1_000_000)
+        h1, h2 = topo.hosts["h1"], topo.hosts["h2"]
+        s1 = topo.switches["s1"]
+        port = topo.port_towards("s1", "h2")
+        marker = ECNMarker(s1.ports[port], mark_threshold=5)
+        s1.on_forward(lambda pkt, ip, op: marker.maybe_mark(pkt, sim.now)
+                      if op == port else None)
+        ECNReceiver(h2)
+        observer = ECNSourceObserver(h1)
+        # 1 Mb/s = 125 pps service; send 400 pps to congest.
+        source = ConstantRateSource(h1, "10.0.0.2", 80, rate_pps=400,
+                                    ecn_capable=True)
+        source.launch()
+        sim.run(5.0)
+        assert marker.marked_count > 0
+        assert observer.first_echo_time is not None
+        # The echo arrives only after the congested queue is traversed.
+        first_mark = marker.mark_log[0][0]
+        assert observer.first_echo_time > first_mark
+
+    def test_no_congestion_no_echo(self):
+        sim = Simulator()
+        topo = single_switch_topology(sim, 2)
+        h1, h2 = topo.hosts["h1"], topo.hosts["h2"]
+        s1 = topo.switches["s1"]
+        port = topo.port_towards("s1", "h2")
+        marker = ECNMarker(s1.ports[port], mark_threshold=25)
+        s1.on_forward(lambda pkt, ip, op: marker.maybe_mark(pkt, sim.now))
+        ECNReceiver(h2)
+        observer = ECNSourceObserver(h1)
+        source = ConstantRateSource(h1, "10.0.0.2", 80, rate_pps=20,
+                                    ecn_capable=True)
+        source.launch()
+        sim.run(3.0)
+        assert observer.first_echo_time is None

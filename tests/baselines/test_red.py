@@ -1,0 +1,78 @@
+"""Tests for the RED marker baseline."""
+
+import pytest
+
+from repro.baselines.red import REDMarker
+from repro.net import FlowKey, Packet, Simulator, single_switch_topology
+
+
+def make_direction():
+    sim = Simulator()
+    topo = single_switch_topology(sim, 2)
+    port = topo.port_towards("s1", "h2")
+    return sim, topo, topo.switches["s1"].ports[port]
+
+
+def capable() -> Packet:
+    return Packet(FlowKey("10.0.0.1", "10.0.0.2", 1, 80), ecn_capable=True)
+
+
+class TestValidation:
+    def test_thresholds(self):
+        _sim, _topo, direction = make_direction()
+        with pytest.raises(ValueError):
+            REDMarker(direction, min_threshold=40, max_threshold=20)
+        with pytest.raises(ValueError):
+            REDMarker(direction, max_probability=0)
+        with pytest.raises(ValueError):
+            REDMarker(direction, weight=2.0)
+
+
+class TestMarking:
+    def test_no_marks_below_min(self):
+        _sim, _topo, direction = make_direction()
+        marker = REDMarker(direction, min_threshold=15, max_threshold=45)
+        for _ in range(50):
+            assert not marker.maybe_mark(capable(), 0.0)
+        assert marker.marked_count == 0
+
+    def test_always_marks_above_max(self):
+        _sim, _topo, direction = make_direction()
+        marker = REDMarker(direction, min_threshold=5, max_threshold=20,
+                           weight=1.0)
+        for _ in range(30):
+            direction.queue.enqueue(capable())
+        # weight=1.0 -> average == instantaneous == 30 > max.
+        assert marker.maybe_mark(capable(), 0.0)
+
+    def test_probabilistic_band(self):
+        """Average held mid-band: some, but not all, packets marked."""
+        _sim, _topo, direction = make_direction()
+        marker = REDMarker(direction, min_threshold=10, max_threshold=50,
+                           max_probability=0.5, weight=1.0, seed=3)
+        for _ in range(30):  # average = 30: mid-band
+            direction.queue.enqueue(capable())
+        outcomes = [marker.maybe_mark(capable(), 0.0) for _ in range(100)]
+        marked = sum(outcomes)
+        assert 0 < marked < 100
+
+    def test_ewma_smooths_bursts(self):
+        """One instantaneous spike does not push a low EWMA over min."""
+        _sim, _topo, direction = make_direction()
+        marker = REDMarker(direction, min_threshold=10, max_threshold=40,
+                           weight=0.02)
+        for _ in range(30):
+            direction.queue.enqueue(capable())
+        # First packet after the spike: average ≈ 0.02*30 = 0.6 << 10.
+        assert not marker.maybe_mark(capable(), 0.0)
+        assert marker.average_queue < 1.0
+
+    def test_non_capable_never_marked(self):
+        _sim, _topo, direction = make_direction()
+        marker = REDMarker(direction, min_threshold=1, max_threshold=2,
+                           weight=1.0)
+        for _ in range(10):
+            direction.queue.enqueue(capable())
+        plain = Packet(FlowKey("a", "b", 1, 2), ecn_capable=False)
+        assert not marker.maybe_mark(plain, 0.0)
+        assert not plain.ecn_marked

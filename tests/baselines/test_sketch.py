@@ -1,0 +1,91 @@
+"""Unit tests for the count-min sketch baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import CountMinSketch, SketchHeavyHitterDetector
+from repro.net import FlowKey, Packet
+
+
+def flow(index: int) -> FlowKey:
+    return FlowKey("10.0.0.1", "10.0.0.2", 10_000 + index, 80)
+
+
+class TestCountMinSketch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(depth=0)
+
+    def test_single_flow_exact(self):
+        sketch = CountMinSketch()
+        for _ in range(10):
+            sketch.update(flow(1))
+        assert sketch.estimate(flow(1)) == 10
+
+    def test_unseen_flow_zero_when_sparse(self):
+        sketch = CountMinSketch(width=256)
+        sketch.update(flow(1), 5)
+        assert sketch.estimate(flow(2)) <= 5  # collision possible but bounded
+
+    def test_negative_update_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch().update(flow(1), -1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                    max_size=80))
+    def test_never_underestimates(self, updates):
+        """The count-min guarantee: estimate >= true count."""
+        sketch = CountMinSketch(width=16, depth=3)
+        truth: dict[int, int] = {}
+        for index in updates:
+            sketch.update(flow(index))
+            truth[index] = truth.get(index, 0) + 1
+        for index, count in truth.items():
+            assert sketch.estimate(flow(index)) >= count
+
+    def test_total_tracked(self):
+        sketch = CountMinSketch()
+        sketch.update(flow(1), 3)
+        sketch.update(flow(2), 4)
+        assert sketch.total == 7
+
+
+class TestSketchHeavyHitterDetector:
+    def test_heavy_flow_reported(self):
+        detector = SketchHeavyHitterDetector(interval=1.0, threshold=25)
+        heavy, mouse = flow(1), flow(2)
+        for index in range(60):
+            detector.observe(Packet(heavy), time=index * 0.015)
+        for index in range(5):
+            detector.observe(Packet(mouse), time=index * 0.1)
+        detector.flush(2.0)
+        assert heavy in detector.heavy_flows()
+        assert mouse not in detector.heavy_flows()
+
+    def test_interval_reset(self):
+        """Counts do not leak across intervals."""
+        detector = SketchHeavyHitterDetector(interval=1.0, threshold=10)
+        for interval in range(3):
+            for index in range(6):  # 6 per interval, under threshold
+                detector.observe(Packet(flow(1)),
+                                 time=interval + index * 0.1)
+        detector.flush(4.0)
+        assert detector.heavy_flows() == set()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SketchHeavyHitterDetector(interval=0)
+
+    def test_reports_carry_interval(self):
+        detector = SketchHeavyHitterDetector(interval=1.0, threshold=3)
+        for index in range(10):
+            detector.observe(Packet(flow(7)), time=2.0 + index * 0.05)
+        detector.flush(4.0)
+        assert detector.reports
+        start, reported = detector.reports[0]
+        assert start == 2.0
+        assert reported == flow(7)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the Music-Defined Networking test suite."""
+
+import numpy as np
+import pytest
+
+from repro.audio import AcousticChannel, Microphone, Position, Speaker, SpectrumAnalyzer
+
+
+@pytest.fixture
+def rng():
+    """A fixed-seed random generator; tests must be deterministic."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def analyzer():
+    return SpectrumAnalyzer(zero_pad_factor=2)
+
+
+@pytest.fixture
+def channel():
+    return AcousticChannel()
+
+
+@pytest.fixture
+def quiet_mic():
+    """A microphone with a very low self-noise floor at the origin."""
+    return Microphone(Position(), self_noise_db=5.0, seed=1)
+
+
+@pytest.fixture
+def near_speaker():
+    """A speaker half a metre from the origin."""
+    return Speaker(Position(0.5, 0.0, 0.0))

@@ -1,0 +1,108 @@
+"""Tests for acoustic boot discovery."""
+
+import pytest
+
+from repro.core.apps.discovery import (
+    BOOT_TUNE,
+    BootAnnouncer,
+    DiscoveryApp,
+)
+from repro.experiments.rigs import build_testbed
+
+
+def assemble(num_devices=2):
+    testbed = build_testbed("rhombus")
+    names = sorted(testbed.agents)[:num_devices]
+    devices = {
+        name: testbed.plan.allocate(f"boot/{name}", 3) for name in names
+    }
+    app = DiscoveryApp(testbed.controller, devices)
+    testbed.controller.start()
+    return testbed, devices, app
+
+
+class TestValidation:
+    def test_needs_devices(self):
+        testbed = build_testbed("single")
+        with pytest.raises(ValueError):
+            DiscoveryApp(testbed.controller, {})
+
+    def test_shared_frequencies_rejected(self):
+        testbed = build_testbed("single")
+        allocation = testbed.plan.allocate("shared", 3)
+        with pytest.raises(ValueError, match="share"):
+            DiscoveryApp(testbed.controller,
+                         {"a": allocation, "b": allocation})
+
+    def test_announcer_needs_enough_notes(self):
+        testbed = build_testbed("single")
+        small = testbed.plan.allocate("tiny", 1)
+        with pytest.raises(ValueError, match="boot tune"):
+            BootAnnouncer(testbed.sim, testbed.agents["s1"], small)
+
+
+class TestDiscovery:
+    def test_booting_device_registered(self):
+        testbed, devices, app = assemble(1)
+        name = next(iter(devices))
+        BootAnnouncer(testbed.sim, testbed.agents[name], devices[name],
+                      boot_time=1.0)
+        testbed.sim.run(4.0)
+        assert app.is_discovered(name)
+        assert app.registry[name].time == pytest.approx(1.4, abs=0.3)
+
+    def test_silent_device_not_registered(self):
+        testbed, devices, app = assemble(2)
+        names = sorted(devices)
+        BootAnnouncer(testbed.sim, testbed.agents[names[0]],
+                      devices[names[0]], boot_time=1.0)
+        testbed.sim.run(4.0)
+        assert app.discovered() == [names[0]]
+
+    def test_staggered_boots_both_registered(self):
+        testbed, devices, app = assemble(2)
+        names = sorted(devices)
+        BootAnnouncer(testbed.sim, testbed.agents[names[0]],
+                      devices[names[0]], boot_time=1.0)
+        BootAnnouncer(testbed.sim, testbed.agents[names[1]],
+                      devices[names[1]], boot_time=3.0)
+        testbed.sim.run(6.0)
+        assert app.discovered() == names
+
+    def test_simultaneous_boots_both_registered(self):
+        """Two devices booting at the same instant (a rack power-on):
+        disjoint frequency blocks keep the tunes separable."""
+        testbed, devices, app = assemble(2)
+        names = sorted(devices)
+        for name in names:
+            BootAnnouncer(testbed.sim, testbed.agents[name],
+                          devices[name], boot_time=1.0)
+        testbed.sim.run(4.0)
+        assert app.discovered() == names
+
+    def test_wrong_melody_not_registered(self):
+        """A device playing its notes out of order is not a boot."""
+        testbed, devices, app = assemble(1)
+        name = next(iter(devices))
+        agent = testbed.agents[name]
+        allocation = devices[name]
+        wrong_order = (BOOT_TUNE[1], BOOT_TUNE[0], BOOT_TUNE[2])
+        for index, note in enumerate(wrong_order):
+            testbed.sim.schedule_at(
+                1.0 + index * 0.2,
+                lambda n=note: agent.play(allocation.frequency_for(n),
+                                          0.12, 70.0),
+            )
+        testbed.sim.run(4.0)
+        assert not app.is_discovered(name)
+
+    def test_reboot_not_double_registered(self):
+        testbed, devices, app = assemble(1)
+        name = next(iter(devices))
+        BootAnnouncer(testbed.sim, testbed.agents[name], devices[name],
+                      boot_time=1.0)
+        BootAnnouncer(testbed.sim, testbed.agents[name], devices[name],
+                      boot_time=3.0)
+        testbed.sim.run(6.0)
+        first = app.registry[name].time
+        assert first < 2.0  # the original registration stands

@@ -1,0 +1,103 @@
+"""Tests for acoustic device liveness monitoring."""
+
+import pytest
+
+from repro.core.apps import (
+    HeartbeatChirper,
+    LivenessMonitorApp,
+    build_liveness_mesh,
+)
+from repro.experiments.rigs import build_testbed
+
+
+@pytest.fixture
+def mesh():
+    testbed = build_testbed("rhombus")
+    chirpers, monitor = build_liveness_mesh(testbed.controller,
+                                            testbed.agents, testbed.plan)
+    testbed.controller.start()
+    return testbed, chirpers, monitor
+
+
+class TestValidation:
+    def test_needs_devices(self):
+        testbed = build_testbed("single")
+        with pytest.raises(ValueError):
+            LivenessMonitorApp(testbed.controller, {})
+
+    def test_unique_frequencies_required(self):
+        testbed = build_testbed("single")
+        with pytest.raises(ValueError, match="unique"):
+            LivenessMonitorApp(testbed.controller,
+                               {"a": 500.0, "b": 500.0})
+
+    def test_miss_threshold(self):
+        testbed = build_testbed("single")
+        with pytest.raises(ValueError):
+            LivenessMonitorApp(testbed.controller, {"a": 500.0},
+                               miss_threshold=0)
+
+    def test_chirper_phase_validation(self):
+        testbed = build_testbed("single")
+        with pytest.raises(ValueError, match="phase"):
+            HeartbeatChirper(testbed.sim, testbed.agents["s1"], 500.0,
+                             period=1.0, phase=1.5)
+
+
+class TestLiveness:
+    def test_all_devices_alive(self, mesh):
+        testbed, _chirpers, monitor = mesh
+        testbed.sim.run(6.0)
+        assert monitor.devices_down() == []
+        assert set(monitor.last_heard) == set(monitor.devices)
+
+    def test_dead_device_detected(self, mesh):
+        testbed, chirpers, monitor = mesh
+        testbed.sim.run(4.0)
+        chirpers["s_top"].kill()
+        testbed.sim.run(10.0)
+        assert monitor.devices_down() == ["s_top"]
+        alert = monitor.alerts[-1]
+        assert alert.device == "s_top"
+        assert alert.missed_beats >= 2
+
+    def test_detection_latency_bounded(self, mesh):
+        """Alert within miss_threshold + 1 periods of the death."""
+        testbed, chirpers, monitor = mesh
+        testbed.sim.run(4.0)
+        chirpers["s_in"].kill()
+        death = testbed.sim.now
+        testbed.sim.run(12.0)
+        alert = next(a for a in monitor.alerts if a.device == "s_in")
+        assert alert.time - death < (monitor.miss_threshold + 1) * monitor.period + 0.5
+
+    def test_revived_device_clears(self, mesh):
+        testbed, chirpers, monitor = mesh
+        testbed.sim.run(4.0)
+        chirpers["s_bottom"].kill()
+        testbed.sim.run(10.0)
+        assert monitor.is_down("s_bottom")
+        chirpers["s_bottom"].revive()
+        testbed.sim.run(14.0)
+        assert not monitor.is_down("s_bottom")
+        # The historical alert is retained.
+        assert any(a.device == "s_bottom" for a in monitor.alerts)
+
+    def test_multiple_simultaneous_deaths(self, mesh):
+        testbed, chirpers, monitor = mesh
+        testbed.sim.run(4.0)
+        chirpers["s_top"].kill()
+        chirpers["s_out"].kill()
+        testbed.sim.run(11.0)
+        assert monitor.devices_down() == ["s_out", "s_top"]
+
+    def test_beats_staggered(self, mesh):
+        """The mesh staggers device phases so beats land in different
+        capture windows."""
+        _testbed, chirpers, _monitor = mesh
+        starts = sorted(
+            chirper._timer._event.time if chirper._timer._event else 0.0
+            for chirper in chirpers.values()
+        )
+        gaps = [second - first for first, second in zip(starts, starts[1:])]
+        assert all(gap > 0.2 for gap in gaps)

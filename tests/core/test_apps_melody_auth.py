@@ -1,0 +1,97 @@
+"""Tests for timed melody authentication."""
+
+import pytest
+
+from repro.core.apps.melody_auth import Melody, MelodyAuthenticator
+from repro.experiments.rigs import build_testbed
+
+
+def assemble(notes=(0, 2, 1), max_gap=2.0):
+    testbed = build_testbed("single")
+    allocation = testbed.plan.allocate("s1", 4)
+    melody = Melody(notes=tuple(notes), allocation=allocation,
+                    max_gap=max_gap)
+    accepted_times = []
+    auth = MelodyAuthenticator(testbed.controller, melody,
+                               on_accept=accepted_times.append)
+    testbed.controller.start()
+    return testbed, melody, auth, accepted_times
+
+
+def play(testbed, melody, schedule):
+    """Schedule (time, note) pairs on the switch's agent."""
+    agent = testbed.agents["s1"]
+    for time, note in schedule:
+        testbed.sim.schedule_at(
+            time,
+            lambda n=note: agent.play(melody.frequency_of(n), 0.12, 70.0),
+        )
+
+
+class TestMelody:
+    def test_validation(self):
+        testbed = build_testbed("single")
+        allocation = testbed.plan.allocate("s1", 4)
+        with pytest.raises(ValueError):
+            Melody(notes=(0,), allocation=allocation)
+        with pytest.raises(ValueError):
+            Melody(notes=(0, 9), allocation=allocation)
+        with pytest.raises(ValueError):
+            Melody(notes=(0, 1), allocation=allocation, max_gap=0)
+
+    def test_repeated_notes_allowed(self):
+        testbed = build_testbed("single")
+        allocation = testbed.plan.allocate("s1", 4)
+        melody = Melody(notes=(0, 0, 1), allocation=allocation)
+        assert len(melody.frequencies()) == 2
+
+
+class TestAuthentication:
+    def test_correct_melody_in_tempo_accepts(self):
+        testbed, melody, auth, accepted = assemble()
+        play(testbed, melody, [(1.0, 0), (2.0, 2), (3.0, 1)])
+        testbed.sim.run(5.0)
+        assert auth.accepted
+        assert len(accepted) == 1
+        assert accepted[0] == pytest.approx(3.0, abs=0.2)
+
+    def test_wrong_order_rejected(self):
+        testbed, melody, auth, _accepted = assemble()
+        play(testbed, melody, [(1.0, 2), (2.0, 0), (3.0, 1)])
+        testbed.sim.run(5.0)
+        assert not auth.accepted
+
+    def test_too_slow_melody_times_out(self):
+        """Right notes, wrong rhythm: gaps beyond max_gap reset the
+        attempt — the anti-brute-force property."""
+        testbed, melody, auth, _accepted = assemble(max_gap=1.5)
+        play(testbed, melody, [(1.0, 0), (2.0, 2), (6.0, 1)])  # 4 s gap
+        testbed.sim.run(8.0)
+        assert not auth.accepted
+        assert auth.timeouts == 1
+
+    def test_retry_after_timeout_succeeds(self):
+        testbed, melody, auth, accepted = assemble(max_gap=1.5)
+        play(testbed, melody, [(1.0, 0), (5.0, 0), (6.0, 2), (7.0, 1)])
+        testbed.sim.run(9.0)
+        assert auth.accepted
+        assert auth.timeouts == 1
+
+    def test_latches_until_reset(self):
+        testbed, melody, auth, accepted = assemble()
+        play(testbed, melody, [(1.0, 0), (2.0, 2), (3.0, 1),
+                               (4.0, 0), (5.0, 2), (6.0, 1)])
+        testbed.sim.run(8.0)
+        assert len(accepted) == 1  # second rendition ignored while latched
+
+    def test_reset_rearms(self):
+        testbed, melody, auth, accepted = assemble()
+        play(testbed, melody, [(1.0, 0), (2.0, 2), (3.0, 1)])
+        testbed.sim.run(4.0)
+        assert auth.accepted
+        auth.reset()
+        assert not auth.accepted
+        play(testbed, melody, [(5.0, 0), (6.0, 2), (7.0, 1)])
+        testbed.sim.run(9.0)
+        assert auth.accepted
+        assert len(accepted) == 2

@@ -1,0 +1,146 @@
+"""Tests for the chord-based DDoS / superspreader detector (§5 open
+problem)."""
+
+import pytest
+
+from repro.audio import Position
+from repro.core.apps import (
+    AddressToneMapper,
+    ChordEmitter,
+    SuperspreaderDetectorApp,
+)
+from repro.net import ConstantRateSource, FanInSource, FanOutSource
+from repro.experiments.rigs import build_testbed
+
+
+def assemble(k=5, buckets=12):
+    testbed = build_testbed("single")
+    src_block = testbed.plan.allocate("s1/src", buckets)
+    dst_block = testbed.plan.allocate("s1/dst", buckets)
+    mapper = AddressToneMapper(src_block, dst_block)
+    second_agent = testbed.extra_agent("s1-chord", Position(0.0, -0.9, 0.0))
+    ChordEmitter(testbed.topo.switches["s1"], testbed.agents["s1"],
+                 second_agent, mapper)
+    app = SuperspreaderDetectorApp(testbed.controller, mapper, k=k)
+    testbed.controller.start()
+    return testbed, mapper, app
+
+
+class TestMapper:
+    def test_blocks_must_be_disjoint(self):
+        testbed = build_testbed("single")
+        block = testbed.plan.allocate("only", 4)
+        with pytest.raises(ValueError):
+            AddressToneMapper(block, block)
+
+    def test_deterministic_buckets(self):
+        testbed = build_testbed("single")
+        mapper = AddressToneMapper(testbed.plan.allocate("a", 8),
+                                   testbed.plan.allocate("b", 8))
+        assert mapper.src_frequency("10.0.0.1") == mapper.src_frequency("10.0.0.1")
+        assert mapper.dst_frequency("10.0.0.9") in mapper.dst_block.frequencies
+
+
+class TestChordEmitter:
+    def test_needs_two_speakers(self):
+        testbed = build_testbed("single")
+        mapper = AddressToneMapper(testbed.plan.allocate("a", 4),
+                                   testbed.plan.allocate("b", 4))
+        with pytest.raises(ValueError, match="two"):
+            ChordEmitter(testbed.topo.switches["s1"], testbed.agents["s1"],
+                         testbed.agents["s1"], mapper)
+
+    def test_plays_chords(self):
+        testbed, _mapper, _app = assemble()
+        testbed.topo.hosts["h1"].send_to("10.0.0.2", 80)
+        testbed.sim.run(0.5)
+        # Two tones scheduled at the same instant: a chord.
+        tones = testbed.channel.scheduled_tones
+        assert len(tones) == 2
+        assert tones[0].start_time == tones[1].start_time
+
+
+class TestSuperspreaderDetection:
+    def test_fanout_source_flagged(self):
+        testbed, _mapper, app = assemble()
+        attack = FanOutSource(testbed.topo.hosts["h1"],
+                              [f"10.1.0.{i}" for i in range(15)],
+                              interval=0.12, rounds=4)
+        attack.launch()
+        testbed.sim.run(9.0)
+        assert app.superspreader_detected
+        assert app.is_source_flagged(testbed.topo.hosts["h1"].ip)
+
+    def test_ddos_victim_flagged(self):
+        testbed, _mapper, app = assemble()
+        attack = FanInSource(testbed.topo.hosts["h1"],
+                             [f"10.2.0.{i}" for i in range(15)],
+                             "10.0.0.2", interval=0.12, rounds=4)
+        attack.launch()
+        testbed.sim.run(9.0)
+        assert app.ddos_detected
+        assert app.is_victim_flagged("10.0.0.2")
+
+    def test_benign_traffic_not_flagged(self):
+        """One host talking steadily to two services: no alerts."""
+        testbed, _mapper, app = assemble()
+        for port in (80, 443):
+            source = ConstantRateSource(
+                testbed.topo.hosts["h1"], "10.0.0.2", port, rate_pps=15,
+                src_port=30_000 + port,
+            )
+            source.launch()
+        testbed.sim.run(8.0)
+        assert not app.superspreader_detected
+        assert not app.ddos_detected
+
+    def test_k_threshold_respected(self):
+        """Contacting exactly k distinct destinations does not alert;
+        the rule is strict inequality."""
+        testbed, mapper, app = assemble(k=14)
+        attack = FanOutSource(testbed.topo.hosts["h1"],
+                              [f"10.1.0.{i}" for i in range(10)],
+                              interval=0.12, rounds=4)
+        attack.launch()
+        testbed.sim.run(8.0)
+        # 10 destinations can alias to at most 10 <= 14 dst buckets.
+        assert not app.superspreader_detected
+
+    def test_validation(self):
+        testbed = build_testbed("single")
+        mapper = AddressToneMapper(testbed.plan.allocate("a", 4),
+                                   testbed.plan.allocate("b", 4))
+        with pytest.raises(ValueError):
+            SuperspreaderDetectorApp(testbed.controller, mapper, k=0)
+
+
+class TestTrafficGenerators:
+    def test_fanout_covers_all_destinations(self):
+        testbed = build_testbed("single")
+        source = FanOutSource(testbed.topo.hosts["h1"],
+                              [f"10.1.0.{i}" for i in range(6)],
+                              interval=0.05, rounds=2)
+        source.launch()
+        testbed.sim.run(2.0)
+        assert source.packets_emitted == 12
+
+    def test_fanin_spoofs_sources(self):
+        testbed = build_testbed("single")
+        seen_sources = set()
+        testbed.topo.switches["s1"].on_receive(
+            lambda packet, _port: seen_sources.add(packet.flow.src_ip)
+        )
+        source = FanInSource(testbed.topo.hosts["h1"],
+                             [f"10.2.0.{i}" for i in range(6)],
+                             "10.0.0.2", interval=0.05)
+        source.launch()
+        testbed.sim.run(2.0)
+        assert len(seen_sources) == 6
+
+    def test_validation(self):
+        testbed = build_testbed("single")
+        host = testbed.topo.hosts["h1"]
+        with pytest.raises(ValueError):
+            FanOutSource(host, [], interval=0.1)
+        with pytest.raises(ValueError):
+            FanInSource(host, ["10.0.0.9"], "10.0.0.2", interval=0)

@@ -1,0 +1,128 @@
+"""Unit tests for the finite state machine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FSMError, StateMachine, sequence_machine
+
+
+class TestStateMachine:
+    def test_basic_transition(self):
+        machine = StateMachine("idle", {("idle", "go"): "running"},
+                               accepting=frozenset({"running"}))
+        assert not machine.accepted
+        machine.feed("go")
+        assert machine.state == "running"
+        assert machine.accepted
+
+    def test_unmatched_symbol_stays_without_default(self):
+        machine = StateMachine("a", {("a", 1): "b"})
+        machine.feed(99)
+        assert machine.state == "a"
+
+    def test_unmatched_symbol_goes_to_default(self):
+        machine = StateMachine("b", {("a", 1): "b"}, default_state="a")
+        machine.feed(99)
+        assert machine.state == "a"
+
+    def test_unknown_default_rejected(self):
+        with pytest.raises(FSMError):
+            StateMachine("a", {("a", 1): "b"}, default_state="ghost")
+
+    def test_reset(self):
+        machine = StateMachine("a", {("a", 1): "b"})
+        machine.feed(1)
+        machine.reset()
+        assert machine.state == "a"
+
+    def test_transition_hook(self):
+        machine = StateMachine("a", {("a", 1): "b", ("b", 2): "c"})
+        log = []
+        machine.on_transition(lambda s, sym, t: log.append((s, sym, t)))
+        machine.feed(1)
+        machine.feed(2)
+        assert log == [("a", 1, "b"), ("b", 2, "c")]
+
+
+class TestSequenceMachine:
+    def test_accepts_exact_sequence(self):
+        machine = sequence_machine([7001, 7002, 7003])
+        for symbol in (7001, 7002, 7003):
+            machine.feed(symbol)
+        assert machine.accepted
+
+    def test_wrong_order_resets(self):
+        machine = sequence_machine([1, 2, 3])
+        machine.feed(1)
+        machine.feed(3)  # wrong
+        assert machine.state == "s0"
+        machine.feed(1)
+        machine.feed(2)
+        machine.feed(3)
+        assert machine.accepted
+
+    def test_wrong_symbol_without_reset_stays(self):
+        machine = sequence_machine([1, 2, 3], reset_on_error=False)
+        machine.feed(1)
+        machine.feed(9)
+        assert machine.state == "s1"
+        machine.feed(2)
+        machine.feed(3)
+        assert machine.accepted
+
+    def test_repeated_first_symbol_restarts_attempt(self):
+        machine = sequence_machine([1, 2, 3])
+        machine.feed(1)
+        machine.feed(1)  # start over, still counts as the first knock
+        machine.feed(2)
+        machine.feed(3)
+        assert machine.accepted
+
+    def test_prefix_not_accepted(self):
+        machine = sequence_machine([1, 2, 3])
+        machine.feed(1)
+        machine.feed(2)
+        assert not machine.accepted
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(FSMError):
+            sequence_machine([])
+
+    def test_single_symbol_sequence(self):
+        machine = sequence_machine(["knock"])
+        machine.feed("knock")
+        assert machine.accepted
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        secret=st.lists(st.integers(min_value=0, max_value=9), min_size=2,
+                        max_size=5, unique=True),
+        prefix=st.lists(st.integers(min_value=0, max_value=9), max_size=12),
+    )
+    def test_random_prefix_then_secret_always_accepts(self, secret, prefix):
+        """Whatever garbage came before, feeding the exact secret
+        afterwards opens the lock (the FSM cannot be wedged)."""
+        machine = sequence_machine(secret)
+        for symbol in prefix:
+            machine.feed(symbol)
+        for symbol in secret:
+            machine.feed(symbol)
+        assert machine.accepted
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        secret=st.lists(st.integers(min_value=0, max_value=4), min_size=3,
+                        max_size=5, unique=True),
+        attempt=st.lists(st.integers(min_value=0, max_value=4), max_size=6),
+    )
+    def test_acceptance_requires_secret_subsequence(self, secret, attempt):
+        """If the machine accepted, the fed symbols must end with a run
+        matching the secret's tail transition — i.e. the last len(secret)
+        effective symbols walked s0..sN.  Weak form: an attempt shorter
+        than the secret never accepts."""
+        machine = sequence_machine(secret)
+        for symbol in attempt:
+            machine.feed(symbol)
+        if len(attempt) < len(secret):
+            assert not machine.accepted

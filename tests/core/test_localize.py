@@ -1,0 +1,151 @@
+"""Tests for TDOA acoustic source localization."""
+
+import numpy as np
+import pytest
+
+from repro.audio import (
+    AcousticChannel,
+    Microphone,
+    Position,
+    Speaker,
+    ToneSpec,
+    sine_tone,
+    white_noise,
+)
+from repro.core.localize import TdoaLocalizer, gcc_phat_delay
+
+STATIONS = {
+    "nw": Position(0.0, 10.0, 0.0),
+    "ne": Position(12.0, 10.0, 0.0),
+    "s": Position(6.0, -2.0, 0.0),
+    "w": Position(-2.0, 0.0, 0.0),
+}
+
+
+def build_array(seed=1):
+    return {
+        name: Microphone(position, seed=seed + index)
+        for index, (name, position) in enumerate(sorted(STATIONS.items()))
+    }
+
+
+class TestGccPhat:
+    def test_zero_delay(self):
+        tone = sine_tone(1000, 0.2, 65.0)
+        assert gcc_phat_delay(tone, tone) == pytest.approx(0.0, abs=1e-4)
+
+    def test_known_delay_recovered(self):
+        rng = np.random.default_rng(3)
+        noise = white_noise(0.3, 60.0, rng=rng)
+        shift = 37  # samples
+        delayed_samples = np.concatenate(
+            [np.zeros(shift), noise.samples[:-shift]]
+        )
+        from repro.audio import AudioSignal
+        delayed = AudioSignal(delayed_samples, noise.sample_rate)
+        measured = gcc_phat_delay(noise, delayed)
+        assert measured == pytest.approx(shift / 16000, abs=1e-4)
+
+    def test_rate_mismatch_rejected(self):
+        from repro.audio import AudioSignal
+        a = AudioSignal(np.zeros(100), 16000)
+        b = AudioSignal(np.zeros(100), 8000)
+        with pytest.raises(ValueError):
+            gcc_phat_delay(a, b)
+
+    def test_too_short_rejected(self):
+        from repro.audio import AudioSignal
+        tiny = AudioSignal(np.zeros(4), 16000)
+        with pytest.raises(ValueError):
+            gcc_phat_delay(tiny, tiny)
+
+
+class TestLocalization:
+    def test_needs_three_stations(self):
+        with pytest.raises(ValueError):
+            TdoaLocalizer({"a": Microphone(), "b": Microphone()})
+
+    @pytest.mark.parametrize("true_position", [
+        Position(6.0, 3.0, 0.0),
+        Position(1.0, 8.0, 0.0),
+        Position(10.0, 0.5, 0.0),
+    ])
+    def test_tone_source_located(self, true_position):
+        channel = AcousticChannel()
+        Speaker(true_position).play(channel, 1.0, ToneSpec(2500, 0.5, 70.0))
+        localizer = TdoaLocalizer(build_array())
+        result = localizer.locate(channel, 1.0, 1.6)
+        assert result.position.distance_to(true_position) < 0.5
+
+    def test_localization_through_ambient_noise(self):
+        channel = AcousticChannel()
+        channel.add_noise(
+            white_noise(1.0, level_db=50.0, rng=np.random.default_rng(9)),
+            Position(3.0, 3.0, 0.0),
+        )
+        true_position = Position(8.0, 6.0, 0.0)
+        Speaker(true_position).play(channel, 1.0, ToneSpec(3000, 0.5, 72.0))
+        localizer = TdoaLocalizer(build_array())
+        # Band-isolate the hunted tone: the noise bed is a coherent
+        # point source whose own TDOA would otherwise bias the peak.
+        result = localizer.locate(channel, 1.0, 1.6, band=(2700.0, 3300.0))
+        assert result.position.distance_to(true_position) < 1.0
+
+    def test_beeping_server_found_in_the_datacenter(self):
+        """The §7 anecdote, solved: 'a misconfigured server beeping for
+        weeks' — the array walks straight to it.  A server beeps
+        periodically; the array localizes it despite another server's
+        fan wash nearby."""
+        from repro.fans import Server
+
+        channel = AcousticChannel()
+        # Background: a healthy (noisy) server elsewhere in the room.
+        bystander = Server("healthy")
+        bystander.position = Position(2.0, 8.0, 0.0)
+        bystander.attach_to_channel(channel, 3.0)
+        # The culprit beeps at 4 kHz, once.
+        culprit_position = Position(9.0, 2.0, 0.0)
+        Speaker(culprit_position).play(channel, 1.0,
+                                       ToneSpec(4000, 0.4, 75.0))
+        localizer = TdoaLocalizer(build_array())
+        result = localizer.locate(channel, 1.0, 1.5, band=(3700.0, 4300.0))
+        assert result.position.distance_to(culprit_position) < 1.5
+
+    def test_residual_reported(self):
+        channel = AcousticChannel()
+        Speaker(Position(5.0, 5.0, 0.0)).play(channel, 0.5,
+                                              ToneSpec(2000, 0.4, 70.0))
+        result = TdoaLocalizer(build_array()).locate(channel, 0.5, 1.0)
+        assert result.residual_m < 3.0
+        assert set(result.tdoas) == {"nw", "s", "w"}
+
+
+class TestRobustness:
+    def test_drowned_station_reported_excluded(self):
+        """The station next to the roaring server is gated out and
+        named in the result."""
+        from repro.fans import Server
+
+        channel = AcousticChannel()
+        bystander = Server("healthy")
+        bystander.position = Position(2.0, 8.0, 0.0)
+        bystander.attach_to_channel(channel, 3.0)
+        Speaker(Position(9.0, 2.0, 0.0)).play(channel, 1.0,
+                                              ToneSpec(4000, 0.4, 75.0))
+        localizer = TdoaLocalizer(build_array())
+        result = localizer.locate(channel, 1.0, 1.5, band=(3700.0, 4300.0))
+        assert "nw" in result.excluded  # nw sits 2.8 m from the roarer
+
+    def test_onset_quality_separates_clean_from_drowned(self):
+        from repro.core.localize import onset_quality
+        from repro.audio import AudioSignal, bandpass_filter
+        clean_channel = AcousticChannel()
+        Speaker(Position(5.0, 5.0, 0.0)).play(clean_channel, 0.5,
+                                              ToneSpec(3000, 0.3, 70.0))
+        mic = Microphone(Position(0.0, 0.0, 0.0), seed=2)
+        clean = mic.record(clean_channel, 0.5, 1.0)
+        assert onset_quality(clean) > 50.0
+        flat = AudioSignal(
+            np.abs(np.random.default_rng(1).standard_normal(8000)) * 0.01
+        )
+        assert onset_quality(flat) < 5.0

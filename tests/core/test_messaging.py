@@ -1,0 +1,101 @@
+"""Tests for the always-on acoustic message service."""
+
+import pytest
+
+from repro.audio import (
+    AcousticChannel,
+    FskTransmitter,
+    Microphone,
+    Position,
+    SongNoise,
+    Speaker,
+    default_modem_config,
+)
+from repro.core import FrequencyPlan
+from repro.core.messaging import AcousticMessageService
+from repro.net import Simulator
+
+
+def rig(poll_interval=0.25, with_song=False, mic_seed=9):
+    sim = Simulator()
+    channel = AcousticChannel()
+    if with_song:
+        channel.add_noise(SongNoise(seed=5, level_db=50.0).render(10.0),
+                          Position(2.0, 2.0, 0.0))
+    plan = FrequencyPlan(low_hz=1000.0, guard_hz=40.0)
+    config = default_modem_config(plan.allocate("modem", 5))
+    transmitter = FskTransmitter(config, Speaker(Position(0.6, 0.0, 0.0)))
+    received = []
+    service = AcousticMessageService(
+        sim, channel, Microphone(Position(), seed=mic_seed), config,
+        on_message=lambda payload, time: received.append((time, payload)),
+        poll_interval=poll_interval,
+    )
+    service.start()
+    return sim, channel, transmitter, service, received
+
+
+class TestLifecycle:
+    def test_validation(self):
+        sim = Simulator()
+        plan = FrequencyPlan(low_hz=1000.0, guard_hz=40.0)
+        config = default_modem_config(plan.allocate("m", 5))
+        with pytest.raises(ValueError):
+            AcousticMessageService(sim, AcousticChannel(), Microphone(),
+                                   config, poll_interval=0)
+
+    def test_double_start_rejected(self):
+        sim, _channel, _tx, service, _received = rig()
+        with pytest.raises(RuntimeError):
+            service.start()
+
+    def test_stop_halts_polling(self):
+        sim, channel, transmitter, service, received = rig()
+        service.stop()
+        transmitter.send(channel, 1.0, b"unheard")
+        sim.run(10.0)
+        assert received == []
+
+
+class TestReception:
+    def test_single_unsolicited_frame(self):
+        sim, channel, transmitter, _service, received = rig()
+        sim.schedule_at(1.3, lambda: transmitter.send(channel, sim.now,
+                                                      b"hello"))
+        sim.run(8.0)
+        assert len(received) == 1
+        time, payload = received[0]
+        assert payload == b"hello"
+        assert time == pytest.approx(1.3, abs=0.05)
+
+    def test_back_to_back_frames(self):
+        sim, channel, transmitter, service, received = rig()
+        sim.schedule_at(1.0, lambda: transmitter.send(channel, sim.now,
+                                                      b"one"))
+        sim.schedule_at(6.0, lambda: transmitter.send(channel, sim.now,
+                                                      b"two"))
+        sim.run(14.0)
+        assert [payload for _t, payload in received] == [b"one", b"two"]
+        assert service.decode_errors == 0
+
+    def test_long_frame(self):
+        sim, channel, transmitter, _service, received = rig()
+        payload = b"0123456789" * 5
+        sim.schedule_at(0.8, lambda: transmitter.send(channel, sim.now,
+                                                      payload))
+        sim.run(25.0)
+        assert received and received[0][1] == payload
+
+    def test_reception_under_song(self):
+        sim, channel, transmitter, _service, received = rig(with_song=True)
+        sim.schedule_at(1.0, lambda: transmitter.send(channel, sim.now,
+                                                      b"noisy ok"))
+        sim.run(8.0)
+        assert received and received[0][1] == b"noisy ok"
+
+    def test_quiet_air_no_frames_no_errors(self):
+        sim, _channel, _tx, service, received = rig()
+        sim.run(10.0)
+        assert received == []
+        assert service.decode_errors == 0
+        assert service.frames == []

@@ -1,0 +1,115 @@
+"""Tests for the faithful switch→Pi→speaker path (Figure 1)."""
+
+import pytest
+
+from repro.audio import (
+    AcousticChannel,
+    FrequencyDetector,
+    Microphone,
+    Position,
+    Speaker,
+)
+from repro.core import MusicProtocolMessage
+from repro.core.agent import MusicAgent
+from repro.core.pi import MP_PORT, PiBridge
+from repro.net import Simulator, single_switch_topology
+
+
+@pytest.fixture
+def bridged():
+    sim = Simulator()
+    topo = single_switch_topology(sim, 2)
+    channel = AcousticChannel()
+    agent = MusicAgent(sim, channel, Speaker(Position(0.6, 0.0, 0.0)))
+    bridge = PiBridge(sim, topo.switches["s1"], agent)
+    return sim, topo, channel, agent, bridge
+
+
+class TestWirePath:
+    def test_mp_message_crosses_the_link_and_plays(self, bridged):
+        sim, _topo, channel, _agent, bridge = bridged
+        assert bridge.play(1000.0, 0.1, 70.0)
+        assert len(channel.scheduled_tones) == 0  # still in flight
+        sim.run(0.1)
+        tones = channel.scheduled_tones
+        assert len(tones) == 1
+        assert tones[0].spec.frequency == 1000.0
+        assert bridge.pi.mp_played.total == 1
+
+    def test_tone_starts_after_network_latency(self, bridged):
+        """The MP packet's serialization + propagation delays the tone
+        — the faithful path is not instantaneous."""
+        sim, _topo, channel, _agent, bridge = bridged
+        sim.run(1.0)
+        bridge.play(1000.0)
+        sim.run(1.1)
+        tone = channel.scheduled_tones[0]
+        assert tone.start_time > 1.0
+        assert tone.start_time < 1.005  # but well under 5 ms
+
+    def test_corrupted_mp_rejected(self, bridged):
+        from repro.net import FlowKey, Packet, Protocol
+
+        sim, _topo, channel, _agent, bridge = bridged
+        bad = Packet(
+            FlowKey("0.0.0.0", bridge.pi.ip, MP_PORT, MP_PORT, Protocol.UDP),
+            size_bytes=54,
+            payload=b"\x00" * 12,  # wrong magic, wrong checksum
+        )
+        bridge.switch.transmit(bad, bridge.pi_port)
+        sim.run(0.1)
+        assert bridge.pi.mp_rejected.total == 1
+        assert channel.scheduled_tones == ()
+
+    def test_unplayable_tone_rejected_at_pi(self, bridged):
+        sim, _topo, channel, _agent, bridge = bridged
+        # 10 ms duration: below the speaker's 30 ms gate.
+        bridge.send_mp(MusicProtocolMessage(1000.0, 0.01, 70.0))
+        sim.run(0.1)
+        assert bridge.pi.mp_rejected.total == 1
+        assert channel.scheduled_tones == ()
+
+    def test_non_mp_traffic_ignored(self, bridged):
+        from repro.net import FlowKey, Packet, Protocol
+
+        sim, _topo, channel, _agent, bridge = bridged
+        stray = Packet(
+            FlowKey("0.0.0.0", bridge.pi.ip, 1234, 80, Protocol.TCP),
+            size_bytes=100,
+        )
+        bridge.switch.transmit(stray, bridge.pi_port)
+        sim.run(0.1)
+        assert bridge.pi.mp_played.total == 0
+        assert bridge.pi.mp_rejected.total == 0
+
+
+class TestEndToEndFidelity:
+    def test_full_figure1_loop(self, bridged):
+        """Switch event -> MP bytes over Ethernet -> Pi unmarshal ->
+        speaker -> air -> microphone -> FFT -> identified frequency."""
+        sim, topo, channel, _agent, bridge = bridged
+        switch = topo.switches["s1"]
+        # The switch plays a sound whenever it sees a packet to port 7001.
+        switch.on_receive(
+            lambda packet, _in: bridge.play(1200.0, 0.1, 70.0)
+            if packet.flow.dst_port == 7001 else None
+        )
+        microphone = Microphone(Position(), seed=5)
+        detector = FrequencyDetector([1200.0])
+        topo.hosts["h1"].send_to("10.0.0.2", 7001)
+        sim.run(0.5)
+        window = microphone.record(channel, 0.0, 0.3)
+        events = detector.detect(window)
+        assert [event.frequency for event in events] == [1200.0]
+        assert bridge.mp_sent.total == 1
+        assert bridge.pi.mp_played.total == 1
+
+    def test_pi_link_failure_silences_the_switch(self, bridged):
+        """Cut the Pi link: the MP bytes are lost with it (the sound
+        capability fails like any peripheral)."""
+        sim, topo, channel, _agent, bridge = bridged
+        pi_direction = topo.switches["s1"].ports[bridge.pi_port]
+        pi_direction.fail()
+        assert not bridge.play(1000.0)
+        sim.run(0.2)
+        assert channel.scheduled_tones == ()

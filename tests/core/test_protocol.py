@@ -1,0 +1,104 @@
+"""Unit tests for the Music Protocol wire format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.audio import ToneSpec
+from repro.core import (
+    MusicProtocolError,
+    MusicProtocolMessage,
+    WIRE_SIZE,
+)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(MusicProtocolError):
+            MusicProtocolMessage(0, 0.1)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(MusicProtocolError):
+            MusicProtocolMessage(440, 0)
+
+    def test_rejects_overlong_duration(self):
+        with pytest.raises(MusicProtocolError):
+            MusicProtocolMessage(440, 100.0)
+
+    def test_rejects_negative_intensity(self):
+        with pytest.raises(MusicProtocolError):
+            MusicProtocolMessage(440, 0.1, -5.0)
+
+
+class TestWireFormat:
+    def test_size(self):
+        assert len(MusicProtocolMessage(440, 0.05, 60).marshal()) == WIRE_SIZE
+
+    def test_roundtrip(self):
+        message = MusicProtocolMessage(1234.56, 0.25, 72.5)
+        decoded = MusicProtocolMessage.unmarshal(message.marshal())
+        assert decoded.frequency == pytest.approx(1234.56, abs=0.01)
+        assert decoded.duration == pytest.approx(0.25, abs=0.001)
+        assert decoded.intensity_db == pytest.approx(72.5, abs=0.01)
+
+    def test_magic_enforced(self):
+        wire = bytearray(MusicProtocolMessage(440, 0.1).marshal())
+        wire[0] = ord("X")
+        wire[-1] = _xor(bytes(wire[:-1]))
+        with pytest.raises(MusicProtocolError, match="magic"):
+            MusicProtocolMessage.unmarshal(bytes(wire))
+
+    def test_version_enforced(self):
+        wire = bytearray(MusicProtocolMessage(440, 0.1).marshal())
+        wire[2] = 99
+        wire[-1] = _xor(bytes(wire[:-1]))
+        with pytest.raises(MusicProtocolError, match="version"):
+            MusicProtocolMessage.unmarshal(bytes(wire))
+
+    def test_checksum_detects_corruption(self):
+        wire = bytearray(MusicProtocolMessage(440, 0.1).marshal())
+        wire[5] ^= 0xFF
+        with pytest.raises(MusicProtocolError, match="checksum"):
+            MusicProtocolMessage.unmarshal(bytes(wire))
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(MusicProtocolError, match="bytes"):
+            MusicProtocolMessage.unmarshal(b"short")
+
+    def test_zero_fields_rejected_on_decode(self):
+        wire = bytearray(MusicProtocolMessage(440, 0.1).marshal())
+        wire[3:7] = (0).to_bytes(4, "big")  # frequency = 0
+        wire[-1] = _xor(bytes(wire[:-1]))
+        with pytest.raises(MusicProtocolError, match="frequency"):
+            MusicProtocolMessage.unmarshal(bytes(wire))
+
+    @given(
+        frequency=st.floats(min_value=0.01, max_value=20000.0),
+        duration=st.floats(min_value=0.001, max_value=60.0),
+        intensity=st.floats(min_value=0.0, max_value=120.0),
+    )
+    def test_roundtrip_property(self, frequency, duration, intensity):
+        """Quantization error bounded by the wire resolution."""
+        message = MusicProtocolMessage(frequency, duration, intensity)
+        decoded = MusicProtocolMessage.unmarshal(message.marshal())
+        assert abs(decoded.frequency - frequency) <= 0.005 + 1e-9
+        assert abs(decoded.duration - duration) <= 0.0005 + 1e-9
+        assert abs(decoded.intensity_db - intensity) <= 0.005 + 1e-9
+
+
+class TestToneSpecBridge:
+    def test_to_tone_spec(self):
+        spec = MusicProtocolMessage(880, 0.05, 65).to_tone_spec()
+        assert spec == ToneSpec(880, 0.05, 65)
+
+    def test_from_tone_spec_roundtrip(self):
+        spec = ToneSpec(600, 0.3, 70)
+        message = MusicProtocolMessage.from_tone_spec(spec)
+        assert message.to_tone_spec() == spec
+
+
+def _xor(data: bytes) -> int:
+    value = 0
+    for byte in data:
+        value ^= byte
+    return value

@@ -1,0 +1,84 @@
+"""Unit tests for the tone-count telemetry engine."""
+
+import pytest
+
+from repro.audio.detector import DetectionEvent
+from repro.core import ToneCounter
+
+
+def event(frequency: float, time: float) -> DetectionEvent:
+    return DetectionEvent(frequency, frequency, 60.0, time)
+
+
+class TestIntervals:
+    def test_counts_within_interval(self):
+        counter = ToneCounter(interval=1.0)
+        for t in (0.1, 0.3, 0.5):
+            counter.observe(event(500, t))
+        counter.observe(event(600, 0.7))
+        counter.flush(2.0)
+        assert len(counter.closed) >= 1
+        first = counter.closed[0]
+        assert first.counts == {500: 3, 600: 1}
+        assert first.total == 4
+        assert first.distinct == 2
+
+    def test_interval_boundaries_aligned(self):
+        counter = ToneCounter(interval=1.0)
+        counter.observe(event(500, 0.5))
+        counter.observe(event(500, 1.5))
+        counter.flush(3.0)
+        starts = [interval.start for interval in counter.closed]
+        assert starts == [0.0, 1.0, 2.0]
+
+    def test_empty_intervals_created_by_flush(self):
+        counter = ToneCounter(interval=1.0)
+        counter.observe(event(500, 0.5))
+        counter.flush(4.0)
+        assert len(counter.closed) == 4
+        assert counter.closed[1].total == 0
+
+    def test_flush_before_any_event_is_noop(self):
+        counter = ToneCounter()
+        counter.flush(10.0)
+        assert counter.closed == []
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            ToneCounter(interval=0)
+
+
+class TestRules:
+    def test_frequencies_over_threshold(self):
+        counter = ToneCounter(interval=1.0)
+        for index in range(8):
+            counter.observe(event(500, 0.1 + index * 0.1))
+        counter.observe(event(600, 0.5))
+        counter.flush(2.0)
+        hits = counter.frequencies_over(5)
+        assert hits == [(0.0, 500)]
+
+    def test_distinct_over_threshold(self):
+        counter = ToneCounter(interval=1.0)
+        for index in range(7):
+            counter.observe(event(500 + 20 * index, 0.1 + index * 0.1))
+        counter.flush(2.0)
+        scans = counter.intervals_with_distinct_over(5)
+        assert len(scans) == 1
+        assert scans[0].distinct == 7
+
+    def test_count_history(self):
+        counter = ToneCounter(interval=1.0)
+        counter.observe(event(500, 0.5))
+        counter.observe(event(500, 1.2))
+        counter.observe(event(500, 1.4))
+        counter.flush(3.0)
+        history = counter.count_history(500)
+        assert history.values == [1, 2, 0]
+
+    def test_totals_series(self):
+        counter = ToneCounter(interval=1.0)
+        counter.observe(event(500, 0.5))
+        counter.observe(event(600, 0.6))
+        counter.flush(2.0)
+        assert counter.totals.values == [2, 0]

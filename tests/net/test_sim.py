@@ -1,0 +1,153 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.net import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(0.3, log.append, "c")
+        sim.schedule(0.1, log.append, "a")
+        sim.schedule(0.2, log.append, "b")
+        sim.run(1.0)
+        assert log == ["a", "b", "c"]
+
+    def test_tie_break_by_schedule_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(0.1, log.append, 1)
+        sim.schedule(0.1, log.append, 2)
+        sim.schedule(0.1, log.append, 3)
+        sim.run(1.0)
+        assert log == [1, 2, 3]
+
+    def test_now_advances_during_callbacks(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.5, lambda: seen.append(sim.now))
+        sim.run(1.0)
+        assert seen == [0.5]
+
+    def test_clock_lands_on_until(self):
+        sim = Simulator()
+        sim.run(2.5)
+        assert sim.now == 2.5
+
+    def test_back_to_back_runs_compose(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.5, log.append, "late")
+        sim.run(1.0)
+        assert log == []
+        sim.run(2.0)
+        assert log == ["late"]
+
+    def test_rejects_negative_delay(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_rejects_past_absolute_time(self):
+        sim = Simulator()
+        sim.run(5.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_rejects_running_backwards(self):
+        sim = Simulator()
+        sim.run(5.0)
+        with pytest.raises(ValueError):
+            sim.run(1.0)
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        log = []
+
+        def chain():
+            log.append(sim.now)
+            if sim.now < 0.5:
+                sim.schedule(0.1, chain)
+
+        sim.schedule(0.1, chain)
+        sim.run(1.0)
+        assert len(log) == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(0.5, log.append, "x")
+        event.cancel()
+        sim.run(1.0)
+        assert log == []
+
+    def test_pending_count_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(0.5, lambda: None)
+        drop = sim.schedule(0.6, lambda: None)
+        drop.cancel()
+        assert sim.pending_events() == 1
+        keep.cancel()
+        assert sim.pending_events() == 0
+
+
+class TestPeriodicTimer:
+    def test_fires_on_interval(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(0.25, lambda: ticks.append(sim.now))
+        sim.run(1.0)
+        assert ticks == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_explicit_start(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(0.5, lambda: ticks.append(sim.now), start=0.1)
+        sim.run(1.2)
+        assert ticks == pytest.approx([0.1, 0.6, 1.1])
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        timer = sim.every(0.1, lambda: None)
+        sim.run(0.35)
+        timer.stop()
+        count = timer.fire_count
+        sim.run(1.0)
+        assert timer.fire_count == count
+        assert count == 3
+
+    def test_rejects_bad_interval(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.every(0.0, lambda: None)
+
+    def test_stop_from_inside_callback(self):
+        sim = Simulator()
+        timer = sim.every(0.1, lambda: timer.stop())
+        sim.run(1.0)
+        assert timer.fire_count == 1
+
+
+class TestRunToCompletion:
+    def test_drains_heap(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(2.0, log.append, "b")
+        sim.run_to_completion()
+        assert log == ["a", "b"]
+        assert sim.now == 2.0
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.001, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            sim.run_to_completion(max_events=100)

@@ -1,0 +1,75 @@
+"""Unit tests for the time-series and counter helpers."""
+
+import pytest
+
+from repro.net import Counter, TimeSeries
+
+
+class TestTimeSeries:
+    def test_record_and_len(self):
+        series = TimeSeries("x")
+        series.record(0.0, 1.0)
+        series.record(1.0, 2.0)
+        assert len(series) == 2
+
+    def test_rejects_decreasing_times(self):
+        series = TimeSeries()
+        series.record(2.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(1.0, 5.0)
+
+    def test_equal_times_allowed(self):
+        series = TimeSeries()
+        series.record(1.0, 1.0)
+        series.record(1.0, 2.0)
+        assert series.values == [1.0, 2.0]
+
+    def test_value_at(self):
+        series = TimeSeries()
+        series.record(1.0, 10.0)
+        series.record(2.0, 20.0)
+        assert series.value_at(0.5) == 0.0
+        assert series.value_at(1.0) == 10.0
+        assert series.value_at(1.5) == 10.0
+        assert series.value_at(3.0) == 20.0
+
+    def test_min_max_final(self):
+        series = TimeSeries()
+        for t, v in [(0, 3.0), (1, -1.0), (2, 7.0)]:
+            series.record(t, v)
+        assert series.max() == 7.0
+        assert series.min() == -1.0
+        assert series.final() == 7.0
+
+    def test_empty_stats(self):
+        series = TimeSeries()
+        assert series.max() == 0.0
+        assert series.final() == 0.0
+
+    def test_window(self):
+        series = TimeSeries("w")
+        for t in range(5):
+            series.record(float(t), float(t))
+        sub = series.window(1.0, 3.0)
+        assert sub.times == [1.0, 2.0]
+
+    def test_rate_series(self):
+        series = TimeSeries("bytes")
+        series.record(0.0, 0.0)
+        series.record(1.0, 100.0)
+        series.record(3.0, 300.0)
+        rate = series.rate_series()
+        assert rate.values == pytest.approx([100.0, 100.0])
+
+
+class TestCounter:
+    def test_add_and_increment(self):
+        counter = Counter("c")
+        counter.add(5.0)
+        counter.increment()
+        assert counter.total == 6.0
+
+    def test_rejects_negative(self):
+        counter = Counter()
+        with pytest.raises(ValueError):
+            counter.add(-1.0)
