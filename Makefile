@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples figures render-all clean
+.PHONY: install test bench bench-micro examples figures render-all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,13 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Before/after timings of the vectorized listening hot path (Goertzel
+# bank, batched spectrogram).  Results are appended as JSON to
+# .benchmarks/micro_perf.json (override with MICRO_BENCH_JSON=path).
+bench-micro:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest \
+		benchmarks/test_micro_performance.py -m perf -q -s
 
 figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

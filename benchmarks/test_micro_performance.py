@@ -4,7 +4,19 @@ These are performance-regression guards for the code the experiments
 hammer: channel rendering, detection, mel analysis, the event loop,
 flow-table lookup and sketch updates.  Unlike the figure benches (one
 round each), these run many rounds for stable statistics.
+
+The ``@pytest.mark.perf`` tests at the bottom are before/after
+comparisons of the vectorized listening hot path against its scalar
+references.  They need no pytest-benchmark fixture, run via
+``make bench-micro``, and append their timings as JSON (default
+``.benchmarks/micro_perf.json``, override with ``MICRO_BENCH_JSON``)
+so the bench trajectory can be tracked across commits.
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -12,11 +24,15 @@ import pytest
 from repro.audio import (
     AcousticChannel,
     FrequencyDetector,
+    GoertzelBank,
     Microphone,
     Position,
     SpectrumAnalyzer,
     ToneSpec,
+    goertzel_magnitude,
     mel_spectrogram,
+    power_spectrogram,
+    power_spectrogram_reference,
     sine_tone,
     white_noise,
 )
@@ -123,3 +139,93 @@ def test_perf_countmin_update(benchmark):
     flow = FlowKey("10.0.0.1", "10.0.0.2", 1234, 80)
     benchmark(sketch.update, flow)
     assert sketch.estimate(flow) >= 1
+
+
+# ----------------------------------------------------------------------
+# Vectorization before/after comparisons (`make bench-micro`)
+# ----------------------------------------------------------------------
+
+
+def _best_of(func, repeats: int = 30) -> float:
+    """Best wall-clock seconds over ``repeats`` calls (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _record_perf(name: str, payload: dict) -> None:
+    """Merge one benchmark record into the JSON trajectory file."""
+    path = Path(os.environ.get("MICRO_BENCH_JSON",
+                               ".benchmarks/micro_perf.json"))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[name] = {**payload, "timestamp": time.time()}
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.perf
+def test_perf_goertzel_bank_vectorized_speedup():
+    """The phasor-matrix bank must beat the scalar per-frequency loop
+    by >= 5x on the paper's workload: a 16-frequency watch list over a
+    50 ms capture window."""
+    rng = np.random.default_rng(3)
+    window = sine_tone(740.0, 0.05, level_db=62.0).mix(
+        white_noise(0.05, level_db=45.0, rng=rng)
+    )
+    frequencies = [500.0 + 40.0 * index for index in range(16)]
+    bank = GoertzelBank(frequencies)
+
+    vectorized = np.array([r.magnitude for r in bank.analyze(window)])
+    reference = np.array([goertzel_magnitude(window, f) for f in frequencies])
+    np.testing.assert_allclose(vectorized, reference, atol=1e-9)
+
+    vectorized_s = _best_of(lambda: bank.analyze(window))
+    scalar_s = _best_of(
+        lambda: [goertzel_magnitude(window, f) for f in frequencies]
+    )
+    speedup = scalar_s / vectorized_s
+    _record_perf("goertzel_bank_16f_50ms", {
+        "scalar_us": scalar_s * 1e6,
+        "vectorized_us": vectorized_s * 1e6,
+        "speedup": speedup,
+    })
+    print(f"\nGoertzelBank.analyze 16f/50ms: scalar {scalar_s*1e6:.1f} us, "
+          f"vectorized {vectorized_s*1e6:.1f} us, speedup {speedup:.1f}x")
+    assert speedup >= 5.0
+
+
+@pytest.mark.perf
+def test_perf_spectrogram_batched_speedup():
+    """The batched strided-frame spectrogram must beat the per-frame
+    loop by >= 3x on a 10 s capture at 50 ms frames."""
+    rng = np.random.default_rng(4)
+    capture = sine_tone(1000.0, 10.0, level_db=62.0).mix(
+        white_noise(10.0, level_db=45.0, rng=rng)
+    )
+    analyzer = SpectrumAnalyzer()
+
+    times, freqs, mags = power_spectrogram(capture, 0.05, analyzer=analyzer)
+    ref = power_spectrogram_reference(capture, 0.05, analyzer=analyzer)
+    np.testing.assert_array_equal(times, ref[0])
+    np.testing.assert_allclose(mags, ref[2], atol=1e-9)
+
+    batched_s = _best_of(
+        lambda: power_spectrogram(capture, 0.05, analyzer=analyzer),
+        repeats=10,
+    )
+    looped_s = _best_of(
+        lambda: power_spectrogram_reference(capture, 0.05, analyzer=analyzer),
+        repeats=10,
+    )
+    speedup = looped_s / batched_s
+    _record_perf("power_spectrogram_10s_50ms", {
+        "looped_ms": looped_s * 1e3,
+        "batched_ms": batched_s * 1e3,
+        "speedup": speedup,
+    })
+    print(f"\npower_spectrogram 10s/50ms: looped {looped_s*1e3:.2f} ms, "
+          f"batched {batched_s*1e3:.2f} ms, speedup {speedup:.1f}x")
+    assert speedup >= 3.0

@@ -26,7 +26,9 @@ from .fft import (
     Spectrum,
     SpectrumAnalyzer,
     bandpass_filter,
+    hann_taper,
     power_spectrogram,
+    power_spectrogram_reference,
 )
 from .goertzel import GoertzelBank, GoertzelResult, goertzel_magnitude
 from .mel import (
@@ -115,6 +117,7 @@ __all__ = [
     "default_modem_config",
     "dominant_mel_track",
     "goertzel_magnitude",
+    "hann_taper",
     "harmonic_tone",
     "hvac_hum",
     "hz_to_mel",
@@ -124,6 +127,7 @@ __all__ = [
     "office_ambience",
     "pink_noise",
     "power_spectrogram",
+    "power_spectrogram_reference",
     "propagation_loss_db",
     "raised_cosine_envelope",
     "read_wav",

@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .fft import SpectrumAnalyzer
-from .goertzel import GoertzelBank
+from .fft import Spectrum, SpectrumAnalyzer
+from .goertzel import GoertzelBank, GoertzelResult
 from .signal import AudioSignal
 
 #: The paper's empirical separability limit between adjacent tones.
@@ -128,8 +128,68 @@ class FrequencyDetector:
             return self._detect_goertzel(window, time)
         return self._detect_fft(window, time)
 
+    def detect_stream(
+        self,
+        signal: AudioSignal,
+        frame_duration: float = 0.05,
+        hop_duration: float | None = None,
+        start_time: float = 0.0,
+    ) -> list[DetectionEvent]:
+        """Detect over every analysis frame of a longer capture.
+
+        The streaming counterpart of framing ``signal`` yourself and
+        calling :meth:`detect` per frame — same events, same order —
+        but all frames are analyzed in one batch: a strided frame
+        matrix feeds either one 2-D rfft (FFT backend) or one Goertzel
+        matmul plus one floor-probe matmul (Goertzel backend), and the
+        taper/phasor caches are shared across the whole stream.  Event
+        times are ``start_time`` plus each frame's offset; the trailing
+        partial frame is dropped, like :meth:`AudioSignal.frames`.
+        """
+        times, frames = signal.frame_matrix(frame_duration, hop_duration)
+        if len(times) == 0 or frames.shape[1] == 0:
+            return []
+        events: list[DetectionEvent] = []
+        if self.backend == "goertzel":
+            assert self._goertzel is not None
+            magnitudes = self._goertzel.analyze_block(frames, signal.sample_rate)
+            floors = self._goertzel.floor_block(frames, signal.sample_rate)
+            watched = self._goertzel.frequencies
+            for index, offset in enumerate(times):
+                threshold = (
+                    max(float(floors[index]), 1e-12)
+                    * 10.0 ** (self.threshold_db / 20.0)
+                )
+                hits = [
+                    GoertzelResult(freq, float(mag))
+                    for freq, mag in zip(watched, magnitudes[index])
+                    if mag >= threshold
+                ]
+                events.extend(
+                    self._events_from_hits(hits, start_time + float(offset))
+                )
+        else:
+            frequencies, magnitudes = self._analyzer.analyze_block(
+                frames, signal.sample_rate
+            )
+            window_duration = frames.shape[1] / signal.sample_rate
+            for index, offset in enumerate(times):
+                spectrum = Spectrum(
+                    frequencies, magnitudes[index], signal.sample_rate,
+                    window_duration,
+                )
+                events.extend(
+                    self._events_from_spectrum(spectrum, start_time + float(offset))
+                )
+        return events
+
     def _detect_fft(self, window: AudioSignal, time: float) -> list[DetectionEvent]:
         spectrum = self._analyzer.analyze(window)
+        return self._events_from_spectrum(spectrum, time)
+
+    def _events_from_spectrum(
+        self, spectrum: Spectrum, time: float
+    ) -> list[DetectionEvent]:
         peaks = self._analyzer.find_peaks(spectrum, self.threshold_db)
         peaks = self._reject_sidelobes(peaks)
         events: dict[float, DetectionEvent] = {}
@@ -165,6 +225,11 @@ class FrequencyDetector:
     ) -> list[DetectionEvent]:
         assert self._goertzel is not None
         hits = self._goertzel.detect(window, self.threshold_db)
+        return self._events_from_hits(hits, time)
+
+    def _events_from_hits(
+        self, hits: list[GoertzelResult], time: float
+    ) -> list[DetectionEvent]:
         # The bank only evaluates watched frequencies, so sidelobe
         # leakage from a loud neighbour shows up *at* a watched bin;
         # apply the same relative rejection by level.

@@ -10,12 +10,48 @@ used to regenerate Figure 2b's processing-time CDF.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from .signal import SILENCE_DB, AudioSignal, amplitude_to_db
+
+
+@lru_cache(maxsize=None)
+def hann_taper(count: int) -> tuple[np.ndarray, float]:
+    """Cached Hann taper and coherent-gain factor for one window length.
+
+    The listening loop analyzes a stream of identically sized capture
+    windows, so the taper and its coherent gain (``sum(taper)/count``,
+    the factor that keeps magnitudes RMS-calibrated) are computed once
+    per length and shared by the FFT and Goertzel backends.  The
+    returned array is read-only; callers must not mutate it.
+    """
+    taper = np.hanning(count)
+    taper.setflags(write=False)
+    gain = float(np.sum(taper)) / count if count else 1.0
+    return taper, gain
+
+
+@lru_cache(maxsize=None)
+def one_sided_scale(n_fft: int) -> np.ndarray:
+    """Cached one-sided amplitude correction per rfft bin.
+
+    Interior bins of a one-sided spectrum carry half the sinusoid's
+    energy (the other half lives in the mirrored negative bin), hence
+    the x-sqrt(2) RMS correction.  The DC bin and — for even FFT
+    lengths — the Nyquist bin have no mirror, so the correction must
+    not be applied there or their levels are over-reported by sqrt(2).
+    """
+    scale = np.full(n_fft // 2 + 1, math.sqrt(2.0))
+    scale[0] = 1.0
+    if n_fft % 2 == 0 and len(scale) > 1:
+        scale[-1] = 1.0
+    scale.setflags(write=False)
+    return scale
 
 
 @dataclass(frozen=True)
@@ -131,22 +167,56 @@ class SpectrumAnalyzer:
         if count == 0:
             empty = np.zeros(0)
             return Spectrum(empty, empty.copy(), signal.sample_rate, 0.0)
-        samples = signal.samples
+        frequencies, magnitudes = self.analyze_block(
+            signal.samples[np.newaxis, :], signal.sample_rate
+        )
+        return Spectrum(
+            frequencies, magnitudes[0], signal.sample_rate, signal.duration
+        )
+
+    def analyze_block(
+        self, frames: np.ndarray, sample_rate: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One-sided magnitude spectra of a batch of equal-length frames.
+
+        Parameters
+        ----------
+        frames:
+            Sample matrix of shape ``(T, N)`` — ``T`` analysis windows
+            of ``N`` samples each (e.g. from
+            :meth:`AudioSignal.frame_matrix`).
+        sample_rate:
+            Sample rate of the frames, Hz.
+
+        Returns
+        -------
+        tuple[numpy.ndarray, numpy.ndarray]
+            ``(frequencies, magnitudes)`` — bin frequencies, shape
+            ``(F,)``, and RMS-calibrated magnitudes, shape ``(T, F)``.
+            Each row equals :meth:`analyze` of the corresponding frame.
+        """
+        frames = np.asarray(frames, dtype=np.float64)
+        if frames.ndim != 2:
+            raise ValueError(f"frames must be 2-D, got shape {frames.shape}")
+        count = frames.shape[1]
+        if count == 0:
+            return np.zeros(0), np.zeros((frames.shape[0], 0))
         if self.window == "hann":
-            taper = np.hanning(count)
+            taper, gain = hann_taper(count)
             # Coherent gain compensation keeps magnitudes calibrated.
-            samples = samples * taper
-            gain = np.sum(taper) / count
+            frames = frames * taper
         else:
             gain = 1.0
         n_fft = count * self.zero_pad_factor
-        spectrum = np.fft.rfft(samples, n=n_fft)
-        frequencies = np.fft.rfftfreq(n_fft, 1.0 / signal.sample_rate)
+        spectra = np.fft.rfft(frames, n=n_fft, axis=-1)
+        frequencies = np.fft.rfftfreq(n_fft, 1.0 / sample_rate)
         # Calibrate so a sinusoid of RMS level r reports magnitude r at
         # its bin: |rfft| at the bin is (peak * count * gain / 2), and
         # peak = r * sqrt(2), hence the sqrt(2)/(count*gain) factor.
-        magnitudes = np.abs(spectrum) * (np.sqrt(2.0) / (count * gain))
-        return Spectrum(frequencies, magnitudes, signal.sample_rate, signal.duration)
+        # DC and Nyquist have no mirrored bin, so sqrt(2) is skipped
+        # there (see one_sided_scale).
+        magnitudes = np.abs(spectra) * (one_sided_scale(n_fft) / (count * gain))
+        return frequencies, magnitudes
 
     def find_peaks(
         self,
@@ -241,6 +311,34 @@ def power_spectrogram(
         ``times`` — frame start times (seconds), shape ``(T,)``;
         ``frequencies`` — bin frequencies (Hz), shape ``(F,)``;
         ``magnitudes`` — linear magnitudes, shape ``(T, F)``.
+
+    All frames are analyzed with one batched 2-D rfft over a strided
+    frame matrix (no per-frame Python loop).  When the signal is
+    shorter than one frame the result is shape-consistent: ``times`` is
+    empty, but ``frequencies`` still describes the ``F`` bins a full
+    frame would produce and ``magnitudes`` has shape ``(0, F)``, so
+    consumers such as :func:`~repro.audio.mel.mel_spectrogram` can
+    build their filterbanks unconditionally.
+    """
+    analyzer = analyzer or SpectrumAnalyzer()
+    times, frames = signal.frame_matrix(frame_duration, hop_duration)
+    if frames.shape[1] == 0:
+        return np.zeros(0), np.zeros(0), np.zeros((0, 0))
+    frequencies, magnitudes = analyzer.analyze_block(frames, signal.sample_rate)
+    return times, frequencies, magnitudes
+
+
+def power_spectrogram_reference(
+    signal: AudioSignal,
+    frame_duration: float = 0.05,
+    hop_duration: float | None = None,
+    analyzer: SpectrumAnalyzer | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-frame-loop spectrogram, kept as the scalar reference.
+
+    Same contract as :func:`power_spectrogram` for non-empty results;
+    the equivalence suite and micro-benchmarks compare the batched path
+    against this implementation.
     """
     analyzer = analyzer or SpectrumAnalyzer()
     times = []

@@ -88,8 +88,12 @@ def mel_spectrogram(
     times, frequencies, magnitudes = power_spectrogram(
         signal, frame_duration, hop_duration, analyzer
     )
-    if len(times) == 0:
-        return times, np.zeros(0), np.zeros((0, num_filters))
+    if len(frequencies) == 0:
+        # Degenerate frame length: no bins to build a filterbank over.
+        return times, np.zeros(0), np.zeros((len(times), num_filters))
+    # power_spectrogram is shape-consistent even for signals shorter
+    # than one frame (times empty, frequencies full), so the filterbank
+    # and band centres are always well defined.
     bank = mel_filterbank(num_filters, frequencies, low_hz, high_hz)
     mel_mags = magnitudes @ bank.T
     top = float(frequencies[-1]) if high_hz is None else high_hz

@@ -90,6 +90,46 @@ class TestDetection:
         assert events[0].time == 42.5
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestDetectStream:
+    def test_tone_change_tracked_across_frames(self, backend):
+        """A capture with two consecutive tones yields events for each
+        tone stamped with the right frame times."""
+        detector = FrequencyDetector([500, 2000], backend=backend)
+        signal = sine_tone(500, 0.5, level_db=65.0).concat(
+            sine_tone(2000, 0.5, level_db=65.0)
+        )
+        events = detector.detect_stream(signal, frame_duration=0.1)
+        early = {e.frequency for e in events if e.time < 0.4}
+        late = {e.frequency for e in events if e.time >= 0.6}
+        assert early == {500.0}
+        assert late == {2000.0}
+
+    def test_start_time_offsets_event_times(self, backend):
+        detector = FrequencyDetector([1000], backend=backend)
+        signal = sine_tone(1000, 0.3, level_db=65.0)
+        events = detector.detect_stream(signal, frame_duration=0.1,
+                                        start_time=7.0)
+        assert [e.time for e in events] == pytest.approx([7.0, 7.1, 7.2])
+
+    def test_empty_signal(self, backend):
+        detector = FrequencyDetector([1000], backend=backend)
+        assert detector.detect_stream(AudioSignal(np.zeros(0))) == []
+
+    def test_signal_shorter_than_one_frame(self, backend):
+        detector = FrequencyDetector([1000], backend=backend)
+        short = sine_tone(1000, 0.01, level_db=65.0)
+        assert detector.detect_stream(short, frame_duration=0.05) == []
+
+    def test_overlapping_hop(self, backend):
+        detector = FrequencyDetector([1000], backend=backend)
+        signal = sine_tone(1000, 0.4, level_db=65.0)
+        events = detector.detect_stream(signal, frame_duration=0.1,
+                                        hop_duration=0.05)
+        assert len(events) == 7  # (0.4 - 0.1) / 0.05 + 1 frames
+        assert all(e.frequency == 1000.0 for e in events)
+
+
 class TestFFTSpecifics:
     def test_twenty_hz_separation_resolved(self):
         """The paper's separability limit: two tones 20 Hz apart, both

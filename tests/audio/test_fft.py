@@ -147,3 +147,21 @@ class TestSpectrogram:
     def test_empty_signal(self):
         times, freqs, mags = power_spectrogram(AudioSignal(np.zeros(0)))
         assert len(times) == 0
+
+    def test_short_signal_shapes_are_consistent(self):
+        """A signal shorter than one frame yields zero frames but a
+        full frequency axis, so ``mags`` is ``(0, F)`` — not the old
+        mismatched ``frequencies`` empty / ``mags`` ``(0, 0)``."""
+        short = sine_tone(1000, 0.01)  # 10 ms < the 50 ms frame
+        times, freqs, mags = power_spectrogram(short, frame_duration=0.05)
+        assert len(times) == 0
+        assert len(freqs) == 401  # 800-sample frame -> 401 rfft bins
+        assert mags.shape == (0, len(freqs))
+
+    def test_empty_signal_shapes_are_consistent(self):
+        times, freqs, mags = power_spectrogram(
+            AudioSignal(np.zeros(0)), frame_duration=0.05
+        )
+        assert len(times) == 0
+        assert len(freqs) > 0
+        assert mags.shape == (0, len(freqs))

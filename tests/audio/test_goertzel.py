@@ -31,6 +31,26 @@ class TestGoertzelMagnitude:
     def test_empty_signal(self):
         assert goertzel_magnitude(AudioSignal(np.zeros(0)), 440) == 0.0
 
+    def test_dc_bin_not_inflated(self):
+        """Regression: the one-sided x-sqrt(2) correction must not apply
+        at DC — a constant offset of RMS r reports r, matching the FFT
+        backend bin for bin."""
+        offset = AudioSignal(np.full(1600, 0.5))
+        goertzel_mag = goertzel_magnitude(offset, 0.0)
+        fft_mag = SpectrumAnalyzer().analyze(offset).magnitude_at(0.0)
+        assert goertzel_mag == pytest.approx(0.5, abs=1e-9)
+        assert goertzel_mag == pytest.approx(fft_mag, abs=1e-9)
+
+    def test_nyquist_bin_not_inflated(self):
+        """Regression: same for the Nyquist bin (k = N/2), which also
+        has no mirrored negative-frequency bin."""
+        nyquist_tone = AudioSignal(0.25 * np.cos(np.pi * np.arange(1600)))
+        nyquist_hz = nyquist_tone.sample_rate / 2.0
+        goertzel_mag = goertzel_magnitude(nyquist_tone, nyquist_hz)
+        fft_mag = SpectrumAnalyzer().analyze(nyquist_tone).magnitude_at(nyquist_hz)
+        assert goertzel_mag == pytest.approx(nyquist_tone.rms(), abs=1e-9)
+        assert goertzel_mag == pytest.approx(fft_mag, abs=1e-9)
+
     def test_rejects_out_of_range_frequency(self):
         tone = sine_tone(1000, 0.05)
         with pytest.raises(ValueError):
@@ -70,3 +90,39 @@ class TestGoertzelBank:
         ])
         hits = bank.detect(mix)
         assert {h.frequency for h in hits} == {500, 1500}
+
+
+class TestFloorProbes:
+    def test_probes_clear_of_watched_frequencies(self):
+        """Every floor probe keeps its distance from the watch list —
+        including for low watch lists, where the legacy low-edge probe
+        (freqs[0] * 0.5 + 10 Hz) landed exactly on a 20 Hz tone."""
+        for watched in ([20.0], [20.0, 40.0], [500.0, 540.0, 580.0]):
+            bank = GoertzelBank(watched)
+            probes = bank.floor_probe_frequencies(16_000)
+            assert probes, watched
+            for probe in probes:
+                assert min(abs(probe - f) for f in watched) >= 20.0, (
+                    watched, probe
+                )
+
+    def test_low_frequency_plan_tone_detected(self):
+        """Regression: with a 20 Hz watch list, the on-tone low-edge
+        probe inflated the floor and suppressed the detection."""
+        bank = GoertzelBank([20.0])
+        tone = sine_tone(20.0, 0.5, level_db=60.0)
+        hits = bank.detect(tone)
+        assert [h.frequency for h in hits] == [20.0]
+
+    def test_low_frequency_plan_stays_quiet_on_silence(self):
+        """The relocated probes must still reject empty windows."""
+        bank = GoertzelBank([20.0, 40.0])
+        assert bank.detect(AudioSignal.silence(0.5)) == []
+
+    def test_midband_probe_set_unchanged_for_guarded_plans(self):
+        """A standard 40 Hz-guard plan keeps its legacy probe layout:
+        midpoints plus one probe below and one above the band."""
+        watched = [500.0 + 40.0 * i for i in range(4)]
+        bank = GoertzelBank(watched)
+        probes = bank.floor_probe_frequencies(16_000)
+        assert probes == [520.0, 560.0, 600.0, 260.0, 806.0]

@@ -86,6 +86,27 @@ class TestMelSpectrogram:
         times, centers, mags = mel_spectrogram(AudioSignal(np.zeros(0)))
         assert len(times) == 0
 
+    def test_short_signal_shapes_are_consistent(self):
+        """A signal shorter than one frame flows through without
+        crashing and keeps the band axis: centres ``(M,)``, mags
+        ``(0, M)`` (regression for the empty-spectrogram shape bug)."""
+        short = sine_tone(1000, 0.01)
+        times, centers, mags = mel_spectrogram(
+            short, num_filters=32, frame_duration=0.05
+        )
+        assert len(times) == 0
+        assert len(centers) == 32
+        assert np.all(np.diff(centers) > 0)
+        assert mags.shape == (0, 32)
+
+    def test_empty_signal_shapes_are_consistent(self):
+        times, centers, mags = mel_spectrogram(
+            AudioSignal(np.zeros(0)), num_filters=16
+        )
+        assert len(times) == 0
+        assert len(centers) == 16
+        assert mags.shape == (0, 16)
+
 
 class TestDominantTrack:
     def test_chirp_track_is_monotonic(self):

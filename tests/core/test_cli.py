@@ -69,9 +69,10 @@ class TestRender:
         # use a permissive absolute floor.
         detector = FrequencyDetector([400.0, 420.0, 440.0],
                                      min_level_db=-100.0)
-        heard = set()
-        for _start, frame in signal.frames(0.2):
-            heard |= {event.frequency for event in detector.detect(frame)}
+        heard = {
+            event.frequency
+            for event in detector.detect_stream(signal, frame_duration=0.2)
+        }
         assert heard == {400.0, 420.0, 440.0}
 
     def test_unknown_scene_rejected(self):

@@ -100,8 +100,6 @@ class TestSNRSweep:
         20 Hz-grid frequency more than rarely."""
         detector = FrequencyDetector([TONE_HZ, TONE_HZ + 20, TONE_HZ + 40])
         song = SongNoise(seed=77, level_db=60.0).render(20.0)
-        hits = sum(
-            1 for start, frame in song.frames(0.2)
-            if detector.detect(frame)
-        )
+        events = detector.detect_stream(song, frame_duration=0.2)
+        hits = len({event.time for event in events})
         assert hits <= 10  # <= 10% of 100 windows
