@@ -14,8 +14,12 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Before/after timings of the vectorized listening hot path (Goertzel
-# bank, batched spectrogram).  Results are appended as JSON to
-# .benchmarks/micro_perf.json (override with MICRO_BENCH_JSON=path).
+# bank, batched spectrogram) and the vectorized acoustic render path
+# (interval-indexed channel, 50/200-emitter sweeps).  Results are
+# appended as JSON to .benchmarks/micro_perf.json (override with
+# MICRO_BENCH_JSON=path); the channel render timings are additionally
+# written to .benchmarks/BENCH_channel.json (override with
+# BENCH_CHANNEL_JSON=path).
 bench-micro:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest \
 		benchmarks/test_micro_performance.py -m perf -q -s

@@ -156,14 +156,113 @@ def _best_of(func, repeats: int = 30) -> float:
     return best
 
 
-def _record_perf(name: str, payload: dict) -> None:
-    """Merge one benchmark record into the JSON trajectory file."""
-    path = Path(os.environ.get("MICRO_BENCH_JSON",
-                               ".benchmarks/micro_perf.json"))
+def _merge_json(path: Path, name: str, payload: dict) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     data = json.loads(path.read_text()) if path.exists() else {}
     data[name] = {**payload, "timestamp": time.time()}
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _record_perf(name: str, payload: dict) -> None:
+    """Merge one benchmark record into the JSON trajectory file."""
+    _merge_json(Path(os.environ.get("MICRO_BENCH_JSON",
+                                    ".benchmarks/micro_perf.json")),
+                name, payload)
+
+
+def _record_channel_bench(name: str, payload: dict) -> None:
+    """Channel-render before/after timings get their own trajectory
+    file so the synthesis-side perf history is easy to diff across
+    PRs (default ``.benchmarks/BENCH_channel.json``)."""
+    _merge_json(Path(os.environ.get("BENCH_CHANNEL_JSON",
+                                    ".benchmarks/BENCH_channel.json")),
+                name, payload)
+    _record_perf(name, payload)
+
+
+def _chirping_channel(num_devices: int, timeline: float = 600.0,
+                      chirp_every: float = 20.0) -> AcousticChannel:
+    """An XEXT9-style long-running deployment: ``num_devices``
+    positioned emitters, each chirping a 300 ms plan heartbeat every
+    ``chirp_every`` seconds at a staggered offset, accumulating
+    history over ``timeline`` seconds (no pruning — the deep-look-back
+    configuration)."""
+    channel = AcousticChannel()
+    for index in range(num_devices):
+        spec = ToneSpec(400.0 + 20.0 * index, 0.3, 68.0)
+        position = Position(0.5 + 0.01 * index, 0.0, 0.0)
+        start = (index * 0.37) % (chirp_every - 1.0)
+        while start < timeline:
+            channel.play_tone(start, spec, position)
+            start += chirp_every
+    return channel
+
+
+def _render_sweep(channel: AcousticChannel, render, first_tick: int,
+                  num_windows: int, window: float = 0.1) -> None:
+    """Render ``num_windows`` consecutive controller poll windows."""
+    listener = Position()
+    for tick in range(first_tick, first_tick + num_windows):
+        render(listener, tick * window, (tick + 1) * window)
+
+
+@pytest.mark.perf
+@pytest.mark.parametrize(("num_devices", "min_speedup"),
+                         [(50, 3.0), (200, 5.0)])
+def test_perf_channel_render_vectorized_speedup(num_devices, min_speedup):
+    """The interval-indexed render must beat the scalar full-history
+    scan across a 600-window controller poll near the end of an
+    XEXT9-style long-running deployment (acceptance case: 200
+    emitters, >= 5x).  The scalar loop degrades with total history;
+    the index is bounded by window occupancy."""
+    num_windows = 600
+    first_tick = 5400           # poll the last minute of a 10-minute run
+    channel = _chirping_channel(num_devices)
+    listener = Position()
+
+    # Pin fast == reference before timing anything.
+    for tick in (first_tick, first_tick + 57, first_tick + 299,
+                 first_tick + 598):
+        fast = channel.render_at(listener, tick * 0.1, (tick + 1) * 0.1)
+        reference = channel.render_at_reference(
+            listener, tick * 0.1, (tick + 1) * 0.1
+        )
+        np.testing.assert_allclose(fast.samples, reference.samples,
+                                   atol=1e-9)
+
+    def fast_sweep():
+        channel.invalidate_render_cache()  # time cold renders, not memo hits
+        _render_sweep(channel, channel.render_at, first_tick, num_windows)
+
+    vectorized_s = _best_of(fast_sweep, repeats=5)
+    reference_s = _best_of(
+        lambda: _render_sweep(channel, channel.render_at_reference,
+                              first_tick, num_windows),
+        repeats=2,
+    )
+    # The memo path: a co-located second listener re-polling windows
+    # that are still in the (bounded) cache.
+    warm = lambda: _render_sweep(channel, channel.render_at,
+                                 first_tick + 500, 100)
+    warm()
+    memoized_s = _best_of(warm, repeats=5)
+
+    speedup = reference_s / vectorized_s
+    _record_channel_bench(f"channel_render_{num_devices}emitters_600win", {
+        "num_tones": len(channel.scheduled_tones),
+        "num_windows": num_windows,
+        "reference_ms": reference_s * 1e3,
+        "vectorized_ms": vectorized_s * 1e3,
+        "memoized_100win_ms": memoized_s * 1e3,
+        "speedup": speedup,
+    })
+    print(f"\nchannel render {num_devices} emitters / {num_windows} windows "
+          f"({len(channel.scheduled_tones)} tones history): "
+          f"reference {reference_s*1e3:.1f} ms, "
+          f"vectorized {vectorized_s*1e3:.1f} ms, "
+          f"memoized(100win) {memoized_s*1e3:.2f} ms, "
+          f"speedup {speedup:.1f}x")
+    assert speedup >= min_speedup
 
 
 @pytest.mark.perf

@@ -15,12 +15,42 @@ models that medium deterministically so experiments are reproducible:
 
 Rendering is pull-based: nothing is synthesized until a microphone asks
 for a window, and any window can be re-rendered bit-identically.
+
+Rendering is also the synthesis-side hot path (DESIGN.md §5): every
+``Microphone.record`` lands in :meth:`AcousticChannel.render_at`, and a
+controller-scale study (XEXT9, up to 200 chirping devices) calls it
+hundreds of times per simulated minute.  ``render_at`` therefore runs a
+vectorized fast path built around
+
+* an **interval index** over scheduled tones (parallel arrays sorted by
+  end time, maintained incrementally by :meth:`play_tone` and
+  :meth:`prune`), so a 50–100 ms capture bisects straight to the tones
+  that can overlap the window instead of scanning the full history;
+* **caches** for everything that is re-derived per window otherwise:
+  raised-cosine envelopes (memoized in :mod:`repro.audio.synth`),
+  per-``(listener, emitter)`` distance/delay/loss geometry, per-bed
+  noise gains, and the ``arange`` ramps behind looping-bed index plans;
+* **batched tone synthesis** that groups overlapping tone segments by
+  length and evaluates all phases in a group with one broadcasted
+  ``np.sin`` instead of one call per tone × echo tap;
+* a bounded **window render memo** keyed by ``(listener, start, end)``
+  so co-located microphone-array stations and repeated polls of the
+  same window reuse the mixed buffer.  ``play_tone`` / ``add_noise`` /
+  ``clear`` / ``prune`` invalidate the memo.
+
+:meth:`render_at_reference` keeps the original per-tone scalar loop;
+``tests/audio/test_channel_equivalence.py`` pins the fast path to it
+within 1e-9 (bit-identical in practice — both paths evaluate the same
+IEEE operations per sample in the same order).
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right, insort
+from collections import OrderedDict
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -33,6 +63,28 @@ SPEED_OF_SOUND = 343.0
 #: Closest distance used for attenuation math; prevents the inverse
 #: law from diverging when devices are modelled as co-located.
 MIN_DISTANCE = 0.1
+
+#: Propagation-delay allowance added to the prune keep-cutoff: the
+#: flight time across a generous machine-room diagonal (~50 m), so a
+#: tone whose *emission* ended before the cutoff but whose wavefront is
+#: still crossing the room cannot be dropped mid-capture.
+PRUNE_PROPAGATION_ALLOWANCE = 50.0 / SPEED_OF_SOUND
+
+#: Window render memo capacity (windows).  128 comfortably covers a
+#: microphone array's stations re-polling one shared window plus the
+#: look-back of a few co-located listeners.
+WINDOW_CACHE_SIZE = 128
+
+#: Geometry cache flush threshold: (listener, emitter) position pairs.
+GEOMETRY_CACHE_SIZE = 65536
+
+
+@lru_cache(maxsize=256)
+def _sample_ramp(count: int) -> np.ndarray:
+    """A cached, read-only ``arange(count)`` used by index plans."""
+    ramp = np.arange(count)
+    ramp.setflags(write=False)
+    return ramp
 
 
 @dataclass(frozen=True)
@@ -67,15 +119,19 @@ class ScheduledTone:
 
 @dataclass(frozen=True)
 class NoiseBed:
-    """A pre-rendered positioned noise signal anchored at t = 0.
+    """A pre-rendered positioned noise signal.
 
     The signal loops if a capture window extends past its end, so a
     short rendered ambience can cover an arbitrarily long experiment.
+    ``start`` anchors the bed's first sample at that emission time
+    (default 0); a negative anchor lets a source pre-roll so its sound
+    is already in flight when a capture begins at t = 0.
     """
 
     signal: AudioSignal
     position: Position
     loop: bool = True
+    start: float = 0.0
 
 
 class AcousticChannel:
@@ -110,8 +166,40 @@ class AcousticChannel:
         self.sample_rate = sample_rate
         self.enable_propagation_delay = enable_propagation_delay
         self.echo_taps = tuple(echo_taps)
+        self._max_echo_delay = max(
+            (delay for delay, _loss in echo_taps), default=0.0
+        )
         self._tones: list[ScheduledTone] = []
         self._noise_beds: list[NoiseBed] = []
+        # Interval index: parallel arrays sorted by tone end time, plus
+        # the schedule sequence number that keeps fast-path accumulation
+        # in exact insertion order (the reference iteration order).
+        self._index_ends: list[float] = []
+        self._index_starts: list[float] = []
+        self._index_entries: list[tuple[int, ScheduledTone]] = []
+        #: ``np.asarray(self._index_starts)``, rebuilt lazily after the
+        #: index changes; lets a render mask away not-yet-started tones
+        #: in one vectorized comparison.
+        self._index_starts_array: np.ndarray | None = None
+        self._sequence = 0
+        #: Reference counts of distinct emitter positions, used to bound
+        #: the candidate horizon by the worst-case propagation delay.
+        self._positions: dict[Position, int] = {}
+        #: Bumped whenever the *set* of distinct positions changes;
+        #: versions stale per-listener worst-case-delay memos.
+        self._position_version = 0
+        # listener -> (position_version, worst propagation delay)
+        self._max_delay_cache: dict[Position, tuple[int, float]] = {}
+        # (listener, source) -> (distance, delay_s, loss_db)
+        self._geometry: dict[tuple[Position, Position], tuple[float, float, float]] = {}
+        # id(bed signal), positions -> (gain, delay_s); beds are few.
+        self._bed_geometry: dict[tuple[Position, Position], tuple[float, float]] = {}
+        # (listener, start, end) -> rendered mix (read-only ndarray).
+        self._window_cache: OrderedDict[
+            tuple[Position, float, float], np.ndarray
+        ] = OrderedDict()
+        self.render_cache_hits = 0
+        self.render_cache_misses = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -130,6 +218,12 @@ class AcousticChannel:
             )
         tone = ScheduledTone(start_time, spec, position)
         self._tones.append(tone)
+        self._index_insert(tone)
+        count = self._positions.get(position, 0)
+        self._positions[position] = count + 1
+        if count == 0:
+            self._position_version += 1
+        self.invalidate_render_cache()
         return tone
 
     def add_noise(
@@ -137,8 +231,14 @@ class AcousticChannel:
         signal: AudioSignal,
         position: Position = Position(),
         loop: bool = True,
+        start: float = 0.0,
     ) -> NoiseBed:
-        """Attach a pre-rendered noise bed to the channel."""
+        """Attach a pre-rendered noise bed to the channel.
+
+        ``start`` anchors the bed's first sample at that emission time;
+        pass a negative value to pre-roll a source so its sound has
+        already crossed the room when captures begin at t = 0.
+        """
         if signal.sample_rate != self.sample_rate:
             raise ValueError(
                 f"noise sample rate {signal.sample_rate} != channel "
@@ -146,8 +246,9 @@ class AcousticChannel:
             )
         if len(signal) == 0:
             raise ValueError("noise bed must not be empty")
-        bed = NoiseBed(signal, position, loop)
+        bed = NoiseBed(signal, position, loop, start)
         self._noise_beds.append(bed)
+        self.invalidate_render_cache()
         return bed
 
     @property
@@ -158,6 +259,22 @@ class AcousticChannel:
         """Drop all scheduled tones and noise beds."""
         self._tones.clear()
         self._noise_beds.clear()
+        self._index_ends.clear()
+        self._index_starts.clear()
+        self._index_entries.clear()
+        self._index_starts_array = None
+        self._positions.clear()
+        self._position_version += 1
+        self.invalidate_render_cache()
+
+    @property
+    def echo_tail(self) -> float:
+        """How long past its end a tone can remain audible: the longest
+        echo tap plus a room-scale propagation-delay allowance."""
+        tail = self._max_echo_delay
+        if self.enable_propagation_delay:
+            tail += PRUNE_PROPAGATION_ALLOWANCE
+        return tail
 
     def prune(self, before: float, margin: float = 1.0) -> int:
         """Forget tones that ended more than ``margin`` seconds before
@@ -165,22 +282,268 @@ class AcousticChannel:
 
         Rendering sums over every scheduled tone, so a long-running
         deployment (liveness heartbeats for hours) would otherwise
-        degrade linearly with history.  Pruned audio can no longer be
-        re-rendered; listeners that look back further than ``margin``
-        must prune accordingly.  Returns the number of tones dropped.
+        degrade linearly with history.  The keep-cutoff is extended by
+        :attr:`echo_tail` — echo taps (and in-flight propagation at
+        room scale) keep a tone audible past its scheduled end, and a
+        pruned tone's echo must not vanish mid-capture.  Pruned audio
+        can no longer be re-rendered; listeners that look back further
+        than ``margin`` must prune accordingly.  Returns the number of
+        tones dropped.
         """
-        cutoff = before - margin
-        kept = [tone for tone in self._tones if tone.end_time >= cutoff]
+        keep_cutoff = before - margin - self.echo_tail
+        kept = [tone for tone in self._tones if tone.end_time >= keep_cutoff]
         dropped = len(self._tones) - len(kept)
-        self._tones = kept
+        if dropped:
+            self._tones = kept
+            # The index is sorted by end time, so the drop is a prefix.
+            split = bisect_left(self._index_ends, keep_cutoff)
+            for _seq, tone in self._index_entries[:split]:
+                count = self._positions[tone.position] - 1
+                if count:
+                    self._positions[tone.position] = count
+                else:
+                    del self._positions[tone.position]
+                    self._position_version += 1
+            del self._index_ends[:split]
+            del self._index_starts[:split]
+            del self._index_entries[:split]
+            self._index_starts_array = None
+        self.invalidate_render_cache()
         return dropped
 
+    def invalidate_render_cache(self) -> None:
+        """Drop memoized window renders (geometry and envelope caches
+        are pure and stay).  Scheduling operations call this
+        automatically; benchmarks use it to time cold renders."""
+        self._window_cache.clear()
+
+    def _index_insert(self, tone: ScheduledTone) -> None:
+        """Add one tone to the end-time-sorted interval index."""
+        at = bisect_right(self._index_ends, tone.end_time)
+        self._index_ends.insert(at, tone.end_time)
+        self._index_starts.insert(at, tone.start_time)
+        self._index_entries.insert(at, (self._sequence, tone))
+        self._index_starts_array = None
+        self._sequence += 1
+
+    def _max_propagation_delay(self, listener: Position) -> float:
+        """Worst-case flight time from any scheduled emitter position
+        to ``listener`` (memoized per position-set version)."""
+        if not (self.enable_propagation_delay and self._positions):
+            return 0.0
+        cached = self._max_delay_cache.get(listener)
+        if cached is not None and cached[0] == self._position_version:
+            return cached[1]
+        worst = max(
+            self._geometry_for(listener, position)[1]
+            for position in self._positions
+        )
+        if len(self._max_delay_cache) >= GEOMETRY_CACHE_SIZE:
+            self._max_delay_cache.clear()
+        self._max_delay_cache[listener] = (self._position_version, worst)
+        return worst
+
     # ------------------------------------------------------------------
-    # Rendering
+    # Geometry caches
+    # ------------------------------------------------------------------
+
+    def _geometry_for(
+        self, listener: Position, source: Position
+    ) -> tuple[float, float, float]:
+        """Cached ``(distance, propagation delay, spreading loss)``."""
+        key = (listener, source)
+        geometry = self._geometry.get(key)
+        if geometry is None:
+            distance = listener.distance_to(source)
+            delay = (
+                distance / SPEED_OF_SOUND
+                if self.enable_propagation_delay
+                else 0.0
+            )
+            geometry = (distance, delay, propagation_loss_db(distance))
+            if len(self._geometry) >= GEOMETRY_CACHE_SIZE:
+                self._geometry.clear()
+            self._geometry[key] = geometry
+        return geometry
+
+    def _bed_geometry_for(
+        self, listener: Position, bed: NoiseBed
+    ) -> tuple[float, float]:
+        """Cached ``(linear gain, propagation delay)`` for a noise bed.
+
+        Looping beds are diffuse, phase-free ambience, so they keep the
+        delay-free approximation; non-looping beds are positioned
+        one-shot sources (e.g. a fan that fails and *stays* silent) and
+        get speed-of-sound delay like tones do.
+        """
+        key = (listener, bed.position)
+        geometry = self._bed_geometry.get(key)
+        if geometry is None:
+            distance = listener.distance_to(bed.position)
+            gain = 10.0 ** (-propagation_loss_db(distance) / 20.0)
+            delay = (
+                distance / SPEED_OF_SOUND
+                if self.enable_propagation_delay
+                else 0.0
+            )
+            if len(self._bed_geometry) >= GEOMETRY_CACHE_SIZE:
+                self._bed_geometry.clear()
+            geometry = (gain, delay)
+            self._bed_geometry[key] = geometry
+        return geometry
+
+    # ------------------------------------------------------------------
+    # Rendering — vectorized fast path
     # ------------------------------------------------------------------
 
     def render_at(self, listener: Position, start: float, end: float) -> AudioSignal:
-        """Pressure signal arriving at ``listener`` during ``[start, end)``."""
+        """Pressure signal arriving at ``listener`` during ``[start, end)``.
+
+        Equivalent to :meth:`render_at_reference` (the scalar per-tone
+        loop) but served through the interval index, batched synthesis
+        and the window memo.  Repeated renders of the same
+        ``(listener, start, end)`` return the same (read-only) buffer.
+        """
+        if end < start:
+            raise ValueError(f"end ({end}) must be >= start ({start})")
+        key = (listener, start, end)
+        cached = self._window_cache.get(key)
+        if cached is not None:
+            self._window_cache.move_to_end(key)
+            self.render_cache_hits += 1
+            return AudioSignal(cached, self.sample_rate)
+        self.render_cache_misses += 1
+        count = int(round((end - start) * self.sample_rate))
+        mix = np.zeros(count)
+        if count:
+            self._render_tones_batched(mix, listener, start)
+            for bed in self._noise_beds:
+                gain, delay = self._bed_geometry_for(listener, bed)
+                self._mix_noise(mix, bed, start, gain, delay)
+        mix.setflags(write=False)
+        self._window_cache[key] = mix
+        if len(self._window_cache) > WINDOW_CACHE_SIZE:
+            self._window_cache.popitem(last=False)
+        return AudioSignal(mix, self.sample_rate)
+
+    def _render_tones_batched(
+        self, mix: np.ndarray, listener: Position, window_start: float
+    ) -> None:
+        """Mix every audible tone (and echo) into ``mix``, synthesizing
+        same-length segments together with one broadcasted ``np.sin``.
+
+        Matches :meth:`_mix_tone` bit-for-bit: the per-element phase /
+        amplitude / envelope arithmetic is evaluated in the same order,
+        and segments are accumulated in schedule order.
+        """
+        if not self._index_entries:
+            return
+        count = len(mix)
+        window_end = window_start + count / self.sample_rate
+        # Candidate horizon: a tone whose *emission* ended more than the
+        # worst-case (propagation + echo) delay before the window opens
+        # cannot reach it; everything older bisects away.  Arrival-side
+        # rejection (start_time >= window_end, delays only push arrivals
+        # later) masks scheduled-but-future tones in one vectorized
+        # comparison.
+        max_delay = self._max_echo_delay + self._max_propagation_delay(listener)
+        first = bisect_left(self._index_ends, window_start - max_delay)
+        if first >= len(self._index_entries):
+            return
+        starts = self._index_starts_array
+        if starts is None:
+            starts = self._index_starts_array = np.asarray(self._index_starts)
+        candidates = np.nonzero(starts[first:] < window_end)[0]
+        if len(candidates) == 0:
+            return
+
+        taps = ((0.0, 0.0),) + self.echo_taps
+        entries = self._index_entries
+        # One entry per audible (tone, tap) segment:
+        # (sequence, tap_index, lo, offset, length, coeff, amplitude, envelope)
+        segments: list[
+            tuple[int, int, int, int, int, float, float, np.ndarray]
+        ] = []
+        for candidate in candidates:
+            sequence, tone = entries[first + candidate]
+            _distance, delay, loss_db = self._geometry_for(
+                listener, tone.position
+            )
+            spec = tone.spec
+            tone_len = int(round(spec.duration * self.sample_rate))
+            envelope = None
+            for tap_index, (extra_delay, extra_loss) in enumerate(taps):
+                arrival = tone.start_time + (delay + extra_delay)
+                departure = arrival + spec.duration
+                if departure <= window_start or arrival >= window_end:
+                    continue
+                overlap_start = max(arrival, window_start)
+                overlap_end = min(departure, window_end)
+                lo = int(round((overlap_start - window_start) * self.sample_rate))
+                hi = int(round((overlap_end - window_start) * self.sample_rate))
+                hi = min(hi, count)
+                if hi <= lo:
+                    continue
+                offset = int(round((overlap_start - arrival) * self.sample_rate))
+                length = min(offset + (hi - lo), tone_len) - offset
+                if length <= 0:
+                    continue
+                if envelope is None:
+                    envelope = raised_cosine_envelope(
+                        tone_len, self.sample_rate, signalling_ramp(spec.duration)
+                    )
+                level = spec.level_db - loss_db - extra_loss
+                amplitude = db_to_amplitude(level) * math.sqrt(2.0)
+                coeff = 2.0 * math.pi * spec.frequency
+                segments.append(
+                    (sequence, tap_index, lo, offset, length,
+                     coeff, amplitude, envelope)
+                )
+        if not segments:
+            return
+
+        # Batch synthesis: group segments by length, one sin per group.
+        by_length: dict[int, list[int]] = {}
+        for index, segment in enumerate(segments):
+            by_length.setdefault(segment[4], []).append(index)
+        rows: list[np.ndarray | None] = [None] * len(segments)
+        for length, indices in by_length.items():
+            offsets = np.array([segments[i][3] for i in indices], dtype=np.int64)
+            coeffs = np.array([segments[i][5] for i in indices])
+            amplitudes = np.array([segments[i][6] for i in indices])
+            steps = offsets[:, None] + _sample_ramp(length)[None, :]
+            block = np.sin(coeffs[:, None] * steps / self.sample_rate)
+            block *= amplitudes[:, None]
+            envelopes = np.stack([
+                segments[i][7][segments[i][3] : segments[i][3] + length]
+                for i in indices
+            ])
+            block *= envelopes
+            for row, i in enumerate(indices):
+                rows[i] = block[row]
+
+        # Accumulate in schedule order (tone insertion, then tap order)
+        # so the fast path sums bit-identically to the reference loop.
+        for index in sorted(
+            range(len(segments)), key=lambda i: segments[i][:2]
+        ):
+            _seq, _tap, lo, _offset, length, *_rest = segments[index]
+            mix[lo : lo + length] += rows[index]
+
+    # ------------------------------------------------------------------
+    # Rendering — scalar reference path
+    # ------------------------------------------------------------------
+
+    def render_at_reference(
+        self, listener: Position, start: float, end: float
+    ) -> AudioSignal:
+        """The original per-tone scalar render loop.
+
+        Kept as the readable specification the vectorized
+        :meth:`render_at` is pinned against (1e-9 equivalence suite).
+        Bypasses the interval index and every cache except the shared
+        envelope memo.
+        """
         if end < start:
             raise ValueError(f"end ({end}) must be >= start ({start})")
         count = int(round((end - start) * self.sample_rate))
@@ -193,7 +556,14 @@ class AcousticChannel:
                 self._mix_tone(mix, tone, listener, start,
                                extra_delay, extra_loss)
         for bed in self._noise_beds:
-            self._mix_noise(mix, bed, listener, start)
+            distance = listener.distance_to(bed.position)
+            gain = 10.0 ** (-propagation_loss_db(distance) / 20.0)
+            delay = (
+                distance / SPEED_OF_SOUND
+                if self.enable_propagation_delay
+                else 0.0
+            )
+            self._mix_noise(mix, bed, start, gain, delay)
         return AudioSignal(mix, self.sample_rate)
 
     def _mix_tone(
@@ -209,8 +579,7 @@ class AcousticChannel:
         a capture buffer."""
         distance = listener.distance_to(tone.position)
         delay = distance / SPEED_OF_SOUND if self.enable_propagation_delay else 0.0
-        delay += extra_delay
-        arrival = tone.start_time + delay
+        arrival = tone.start_time + (delay + extra_delay)
         departure = arrival + tone.spec.duration
 
         window_end = window_start + len(mix) / self.sample_rate
@@ -246,21 +615,31 @@ class AcousticChannel:
         self,
         mix: np.ndarray,
         bed: NoiseBed,
-        listener: Position,
         window_start: float,
+        gain: float,
+        delay: float,
     ) -> None:
-        """Add a (looping) noise bed into a capture buffer."""
-        distance = listener.distance_to(bed.position)
-        gain = 10.0 ** (-propagation_loss_db(distance) / 20.0)
+        """Add a noise bed into a capture buffer.
+
+        Non-looping beds are positioned one-shot sources and honour the
+        speed-of-sound ``delay`` like tones do.  Looping beds model
+        diffuse, steady-state ambience whose absolute phase is
+        meaningless, so they keep the historical delay-free
+        approximation (their ``delay`` is ignored) — see DESIGN.md §5.
+        """
         source = bed.signal.samples
         source_len = len(source)
-        start_index = int(round(window_start * self.sample_rate))
         count = len(mix)
         if bed.loop:
-            indices = (start_index + np.arange(count)) % source_len
+            start_index = int(round((window_start - bed.start) * self.sample_rate))
+            indices = (start_index + _sample_ramp(count)) % source_len
             mix += gain * source[indices]
         else:
-            lo = start_index
+            start_index = int(
+                round((window_start - delay - bed.start) * self.sample_rate)
+            )
+            lo = max(start_index, 0)
             hi = min(start_index + count, source_len)
-            if hi > lo >= 0:
-                mix[: hi - lo] += gain * source[lo:hi]
+            if hi > lo:
+                dest = lo - start_index
+                mix[dest : dest + (hi - lo)] += gain * source[lo:hi]

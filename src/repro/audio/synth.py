@@ -21,6 +21,7 @@ Two details matter for faithful reproduction:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -53,23 +54,38 @@ def signalling_ramp(duration: float) -> float:
     return min(MAX_SIGNALLING_RAMP, duration * SIGNALLING_RAMP_FRACTION)
 
 
+@lru_cache(maxsize=1024)
+def _cached_envelope(num_samples: int, ramp_len: int) -> np.ndarray:
+    """Memoized raised-cosine envelope, keyed by (length, ramp length).
+
+    The channel render hot path re-applies the same handful of
+    envelopes (one per distinct tone duration on the frequency plan) to
+    every overlapping capture window, so envelopes are built once and
+    shared.  Cached arrays are read-only; callers that need to mutate
+    must copy.
+    """
+    envelope = np.ones(num_samples)
+    if ramp_len > 0:
+        ramp_curve = 0.5 * (1.0 - np.cos(np.linspace(0.0, np.pi, ramp_len)))
+        envelope[:ramp_len] = ramp_curve
+        envelope[num_samples - ramp_len :] = ramp_curve[::-1]
+    envelope.setflags(write=False)
+    return envelope
+
+
 def raised_cosine_envelope(
     num_samples: int, sample_rate: int, ramp: float = DEFAULT_RAMP
 ) -> np.ndarray:
     """An amplitude envelope with raised-cosine attack and release.
 
     The ramp is shortened automatically when the tone is too short to
-    fit two full ramps.
+    fit two full ramps.  Returns a cached, read-only array (the render
+    hot path reuses one envelope per ``(tone length, ramp length)``).
     """
     if num_samples <= 0:
         return np.zeros(0)
-    envelope = np.ones(num_samples)
     ramp_len = min(int(round(ramp * sample_rate)), num_samples // 2)
-    if ramp_len > 0:
-        ramp_curve = 0.5 * (1.0 - np.cos(np.linspace(0.0, np.pi, ramp_len)))
-        envelope[:ramp_len] = ramp_curve
-        envelope[num_samples - ramp_len :] = ramp_curve[::-1]
-    return envelope
+    return _cached_envelope(num_samples, ramp_len)
 
 
 def sine_tone(

@@ -45,9 +45,16 @@ class MicrophoneArray:
         Shared clock and air.
     stations:
         ``{station_name: Microphone}`` — place each microphone near the
-        switch group it covers.
+        switch group it covers.  Stations sharing one position (e.g.
+        redundant capsules) also share the channel's per-window render
+        memo: the air is mixed once per ``(position, window)`` and each
+        capsule only adds its own self-noise.
     listen_interval:
         Common capture window length.
+    prune_every:
+        Every this-many processed windows, drop channel tones that
+        ended more than ``prune_margin`` seconds ago (the channel keeps
+        its echo tail alive past that cutoff).  0 disables pruning.
     """
 
     def __init__(
@@ -58,6 +65,8 @@ class MicrophoneArray:
         listen_interval: float = 0.1,
         threshold_db: float = 10.0,
         min_level_db: float = 30.0,
+        prune_every: int = 600,
+        prune_margin: float = 30.0,
     ) -> None:
         if not stations:
             raise ValueError("need at least one station")
@@ -67,6 +76,9 @@ class MicrophoneArray:
         self.listen_interval = listen_interval
         self.threshold_db = threshold_db
         self.min_level_db = min_level_db
+        self.prune_every = prune_every
+        self.prune_margin = prune_margin
+        self.tones_pruned = 0
         self._subscribers: dict[float, list[ArrayCallback]] = {}
         self._onset_subscribers: dict[float, list[ArrayCallback]] = {}
         self._detector: FrequencyDetector | None = None
@@ -133,6 +145,8 @@ class MicrophoneArray:
                     if event.level_db > best_event.level_db:
                         merged[event.frequency] = (event, name, heard)
         self.windows_processed += 1
+        if self.prune_every and self.windows_processed % self.prune_every == 0:
+            self.tones_pruned += self.channel.prune(start, self.prune_margin)
 
         present = set(merged)
         for frequency in sorted(merged):

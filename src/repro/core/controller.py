@@ -49,8 +49,16 @@ class MDNController(ControllerBase):
     prune_every:
         Every this-many processed windows, drop channel tones that
         ended more than ``prune_margin`` seconds ago so long-running
-        deployments don't accumulate render cost.  0 disables pruning
-        (e.g. when another listener needs deep look-back).
+        deployments don't accumulate render cost.  The channel extends
+        the keep-cutoff by its echo tail (longest echo tap plus a
+        room-scale propagation allowance), so a margin of 0 can never
+        drop a tone whose reflections are still audible.  0 disables
+        pruning (e.g. when another listener needs deep look-back).
+
+    Co-located listeners (several controllers, or a controller next to
+    a :class:`~repro.core.array.MicrophoneArray` station) share the
+    channel's per-window render memo: the air is mixed once per
+    ``(position, window)``.
     """
 
     def __init__(
@@ -90,6 +98,7 @@ class MDNController(ControllerBase):
         self.windows_processed = 0
         self.detections = 0
         self.onsets = 0
+        self.tones_pruned = 0
 
     # ------------------------------------------------------------------
     # Subscription
@@ -180,7 +189,7 @@ class MDNController(ControllerBase):
             callback(events, start)
         self._previous_window = present
         if self.prune_every and self.windows_processed % self.prune_every == 0:
-            self.channel.prune(start, self.prune_margin)
+            self.tones_pruned += self.channel.prune(start, self.prune_margin)
 
     # ------------------------------------------------------------------
     # SDN southbound

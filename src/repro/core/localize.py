@@ -36,12 +36,19 @@ def gcc_phat_delay(
     reference: AudioSignal,
     other: AudioSignal,
     max_delay: float | None = None,
+    spectral_floor: float = 0.01,
 ) -> float:
     """Delay of ``other`` relative to ``reference``, in seconds.
 
     Positive result: the sound reached ``other`` later.  Uses the
     PHAT weighting (whitened cross-spectrum), which sharpens the
     correlation peak for wideband and tonal sources alike.
+
+    Bins whose cross-spectrum magnitude falls below ``spectral_floor``
+    times the strongest bin are dropped instead of whitened.  Without
+    the relative gate, band-limited captures break: the near-zero
+    out-of-band bins carry identical filter leakage at both stations,
+    and whitening inflates that into a fake coherent peak at lag 0.
     """
     if reference.sample_rate != other.sample_rate:
         raise ValueError("sample rates differ")
@@ -53,7 +60,12 @@ def gcc_phat_delay(
     n_fft = 2 * count
     spectrum = np.fft.rfft(a, n_fft) * np.conj(np.fft.rfft(b, n_fft))
     magnitude = np.abs(spectrum)
-    spectrum = np.where(magnitude > 1e-15, spectrum / np.maximum(magnitude, 1e-15), 0)
+    gate = spectral_floor * float(magnitude.max())
+    spectrum = np.where(
+        magnitude > max(gate, 1e-15),
+        spectrum / np.maximum(magnitude, 1e-15),
+        0,
+    )
     correlation = np.fft.irfft(spectrum, n_fft)
     # Rearrange so lag 0 sits in the middle.
     correlation = np.concatenate(
@@ -203,6 +215,15 @@ class TdoaLocalizer:
         another server) shares the room: its different TDOA otherwise
         biases the correlation peak.  Pass the beep's frequency ±
         a few hundred Hz.
+
+        Timing strategy: with a band, delays come from gated GCC-PHAT
+        on the filtered captures — in-band the hunted emission
+        dominates, and correlating the whole burst averages out the
+        interferer's envelope noise that would jitter a single
+        rising-edge measurement.  Without a band, the envelope onset
+        edge is used instead: whitening an unfiltered capture hands
+        every microphone-noise bin equal weight, burying a narrowband
+        source.
         """
         from ..audio.fft import bandpass_filter
 
@@ -229,9 +250,19 @@ class TdoaLocalizer:
             usable = sorted(names, key=lambda n: qualities[n],
                             reverse=True)[:3]
             usable.sort()
-        onsets = {
-            name: tone_onset_time(captures[name]) for name in usable
-        }
+        if band is not None:
+            bound = self._max_station_span() / SPEED_OF_SOUND
+            reference_capture = captures[usable[0]]
+            onsets = {
+                name: gcc_phat_delay(
+                    reference_capture, captures[name], max_delay=bound
+                )
+                for name in usable
+            }
+        else:
+            onsets = {
+                name: tone_onset_time(captures[name]) for name in usable
+            }
         result = self._robust_solve(usable, onsets)
         gated = tuple(sorted(set(names) - set(usable)))
         return LocalizationResult(

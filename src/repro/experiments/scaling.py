@@ -38,6 +38,8 @@ class ScalePoint:
     false_positives: int      #: inactive plan slots reported
     detect_ms: float          #: detector wall time for the window
     plan_utilization: float   #: fraction of plan capacity consumed
+    render_ms: float = 0.0    #: cold synthesis wall time for the window
+    cached_render_ms: float = 0.0  #: re-poll wall time (window memo hit)
 
 
 def monitoring_scale_sweep(
@@ -77,9 +79,19 @@ def monitoring_scale_sweep(
                 ToneSpec(frequencies[index], window_duration, level_db),
                 Position(0.5 + 0.01 * index, 0.0, 0.0),
             )
-        window = Microphone(Position(), seed=seed).record(
+        microphone = Microphone(Position(), seed=seed)
+        start = time.perf_counter()
+        window = microphone.record(
             channel, window_duration * 0.25, window_duration * 1.05
         )
+        render_s = time.perf_counter() - start
+        # A second listener polling the same (position, window) hits the
+        # channel's render memo; measure that path too.
+        start = time.perf_counter()
+        microphone.record(
+            channel, window_duration * 0.25, window_duration * 1.05
+        )
+        cached_render_s = time.perf_counter() - start
         detector = FrequencyDetector(frequencies)
         start = time.perf_counter()
         events = detector.detect(window)
@@ -95,5 +107,7 @@ def monitoring_scale_sweep(
             false_positives=len(heard - active_frequencies),
             detect_ms=elapsed * 1000.0,
             plan_utilization=count / plan.capacity,
+            render_ms=render_s * 1000.0,
+            cached_render_ms=cached_render_s * 1000.0,
         ))
     return results

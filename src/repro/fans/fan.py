@@ -14,7 +14,7 @@ the transient the failure detector must ride through.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -87,6 +87,7 @@ class FanModel:
         sample_rate: int = DEFAULT_SAMPLE_RATE,
         stop_time: float | None = None,
         spin_down: float = 1.5,
+        lead_in: float = 0.0,
     ) -> AudioSignal:
         """Synthesize the fan's sound at the fan position.
 
@@ -98,9 +99,29 @@ class FanModel:
             If given, the fan loses power at this time and coasts down
             over ``spin_down`` seconds (frequency and level decay to
             zero).  ``stop_time <= 0`` renders a fan that never ran.
+        lead_in:
+            Extra steady hum *prepended* before t = 0 (the fan was
+            already spinning when the render window opens).  The lead
+            segment uses a derived noise seed so the samples for
+            t >= 0 stay bit-identical to a render without lead-in.
         """
         if duration <= 0:
             raise ValueError("duration must be positive")
+        if lead_in > 0:
+            never_ran = stop_time is not None and stop_time <= 0
+            pre = (
+                AudioSignal(
+                    np.zeros(int(round(lead_in * sample_rate))), sample_rate
+                )
+                if never_ran
+                else replace(self, seed=self.seed + 104_729).render(
+                    lead_in, sample_rate
+                )
+            )
+            main = self.render(duration, sample_rate, stop_time, spin_down)
+            return AudioSignal(
+                np.concatenate([pre.samples, main.samples]), sample_rate
+            )
         count = int(round(duration * sample_rate))
         if stop_time is not None and stop_time <= 0:
             return AudioSignal(np.zeros(count), sample_rate)

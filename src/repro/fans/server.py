@@ -11,7 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..audio.channel import AcousticChannel, Position
+from ..audio.channel import (
+    PRUNE_PROPAGATION_ALLOWANCE,
+    AcousticChannel,
+    Position,
+)
 from ..audio.signal import DEFAULT_SAMPLE_RATE, AudioSignal
 from .fan import FanModel
 
@@ -91,15 +95,21 @@ class Server:
         return sorted(freqs)
 
     def render(
-        self, duration: float, sample_rate: int = DEFAULT_SAMPLE_RATE
+        self,
+        duration: float,
+        sample_rate: int = DEFAULT_SAMPLE_RATE,
+        lead_in: float = 0.0,
     ) -> AudioSignal:
-        """The chassis' combined emission over ``[0, duration]``,
-        honouring any injected failures."""
+        """The chassis' combined emission over ``[-lead_in, duration]``,
+        honouring any injected failures (failure times stay anchored to
+        t = 0; the lead-in prepends steady hum without disturbing the
+        t >= 0 samples)."""
         parts = [
             fan.render(
                 duration,
                 sample_rate,
                 stop_time=self._fan_stop_times.get(index),
+                lead_in=lead_in,
             )
             for index, fan in enumerate(self.fans)
         ]
@@ -109,15 +119,29 @@ class Server:
         self,
         channel: AcousticChannel,
         duration: float,
+        lead_in: float | None = None,
     ) -> None:
         """Pre-render this server's emission and place it in the room.
 
-        The rendered signal is anchored at channel time 0 and does not
-        loop (a failed fan must *stay* silent).
+        The rendered signal does not loop (a failed fan must *stay*
+        silent).  Fans were already spinning before the capture window
+        opens, so the emission pre-rolls by ``lead_in`` seconds
+        (anchored at ``-lead_in``): by t = 0 the hum has crossed any
+        room-scale listener distance and arrives steady, with no
+        speed-of-sound onset transient.  The default lead-in is the
+        channel's room-scale propagation allowance (zero when delay
+        modelling is off).
         """
+        if lead_in is None:
+            lead_in = (
+                PRUNE_PROPAGATION_ALLOWANCE
+                if channel.enable_propagation_delay
+                else 0.0
+            )
         self._attached = True
         channel.add_noise(
-            self.render(duration, channel.sample_rate),
+            self.render(duration, channel.sample_rate, lead_in=lead_in),
             position=self.position,
             loop=False,
+            start=-lead_in,
         )

@@ -176,6 +176,31 @@ class TestPruning:
         capture = channel.render_at(Position(), 10.05, 10.25)
         assert analyzer.analyze(capture).level_at(1200) > 60.0
 
+    def test_prune_cutoff_includes_propagation_allowance(self):
+        """Even without echo taps the keep-cutoff backs off by the
+        room-scale propagation allowance, so a distant tone still in
+        flight cannot be pruned mid-air."""
+        from repro.audio.channel import PRUNE_PROPAGATION_ALLOWANCE
+
+        channel = AcousticChannel()
+        channel.play_tone(0.0, ToneSpec(1000, 0.1, 70.0))
+        boundary = 0.1 + 1.0 + PRUNE_PROPAGATION_ALLOWANCE
+        assert channel.prune(before=boundary - 0.01, margin=1.0) == 0
+        assert channel.prune(before=boundary + 0.01, margin=1.0) == 1
+
+    def test_prune_keeps_tone_with_live_echo(self):
+        """Echo taps extend audibility past end_time; prune must not
+        silence an echo that a capture still overlaps."""
+        channel = AcousticChannel(echo_taps=((0.08, 6.0),))
+        channel.play_tone(0.0, ToneSpec(1000, 0.1, 70.0),
+                          Position(0.5, 0, 0))
+        tail_before = channel.render_at(Position(), 0.15, 0.19)
+        assert tail_before.rms() > 0.0
+        assert channel.prune(before=0.15, margin=0.0) == 0
+        tail_after = channel.render_at(Position(), 0.15, 0.19)
+        np.testing.assert_array_equal(tail_before.samples,
+                                      tail_after.samples)
+
     def test_long_run_stays_bounded(self):
         """A controller running for a long stretch keeps the channel's
         tone list bounded via its periodic prune."""

@@ -87,6 +87,21 @@ class TestEnvelope:
         assert len(env) == 10
         assert env[0] < env[4]
 
+    def test_envelopes_are_memoized(self):
+        """The render hot path reuses one envelope per (length, ramp);
+        the same request returns the same read-only array."""
+        first = raised_cosine_envelope(1600, 16000, ramp=0.01)
+        again = raised_cosine_envelope(1600, 16000, ramp=0.01)
+        assert again is first
+        assert not first.flags.writeable
+
+    def test_equal_ramp_lengths_share_an_envelope(self):
+        # Distinct (ramp, sample_rate) pairs that round to the same
+        # ramp length in samples hit the same cache entry.
+        a = raised_cosine_envelope(1600, 16000, ramp=0.01)
+        b = raised_cosine_envelope(1600, 32000, ramp=0.005)
+        assert b is a
+
 
 class TestHarmonicTone:
     def test_contains_harmonics(self, analyzer):

@@ -76,3 +76,31 @@ class TestServer:
         beyond = channel.render_at(Position(0.3, 0, 0), 2.0, 2.4)
         assert inside.rms() > 0
         assert beyond.rms() == 0.0
+
+
+class TestLeadIn:
+    def test_lead_in_preserves_t0_samples(self):
+        """The pre-roll prepends hum without re-rolling the t >= 0
+        realization, so failure timing and line levels are untouched."""
+        fan = FanModel(seed=5)
+        plain = fan.render(1.0, stop_time=0.5)
+        led = fan.render(1.0, stop_time=0.5, lead_in=0.1)
+        lead_count = len(led) - len(plain)
+        assert lead_count == 1600
+        np.testing.assert_array_equal(led.samples[lead_count:], plain.samples)
+        assert np.any(led.samples[:lead_count])
+
+    def test_never_ran_fan_lead_is_silent(self):
+        fan = FanModel(seed=5)
+        led = fan.render(1.0, stop_time=0.0, lead_in=0.1)
+        assert not np.any(led.samples)
+
+    def test_attach_pre_rolls_past_propagation_delay(self):
+        """With delay modelling on, a server's hum is already arriving
+        when capture begins — the pre-roll absorbs the speed-of-sound
+        flight time so there is no onset transient at t = 0."""
+        channel = AcousticChannel(enable_propagation_delay=True)
+        server = Server("s", position=Position(17.15, 0, 0))  # 50 ms away
+        server.attach_to_channel(channel, 1.0)
+        onset = channel.render_at(Position(), 0.0, 0.04)
+        assert onset.rms() > 0
