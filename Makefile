@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-micro examples figures render-all clean
+.PHONY: install test bench bench-micro obs examples figures render-all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,6 +23,12 @@ bench:
 bench-micro:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest \
 		benchmarks/test_micro_performance.py -m perf -q -s
+
+# Instrumented run of one experiment (default fig5ab) under repro.obs:
+# prints the metric/trace report and exports .benchmarks/OBS_<fig>.json.
+obs:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro obs \
+		$(or $(FIG),fig5ab)
 
 figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -254,6 +254,9 @@ def test_perf_channel_render_vectorized_speedup(num_devices, min_speedup):
         "reference_ms": reference_s * 1e3,
         "vectorized_ms": vectorized_s * 1e3,
         "memoized_100win_ms": memoized_s * 1e3,
+        # Registry-backed memo accounting (repro.obs counters).
+        "memo_hits": channel.render_cache_hits,
+        "memo_misses": channel.render_cache_misses,
         "speedup": speedup,
     })
     print(f"\nchannel render {num_devices} emitters / {num_windows} windows "
@@ -263,6 +266,70 @@ def test_perf_channel_render_vectorized_speedup(num_devices, min_speedup):
           f"memoized(100win) {memoized_s*1e3:.2f} ms, "
           f"speedup {speedup:.1f}x")
     assert speedup >= min_speedup
+
+
+@pytest.mark.perf
+def test_perf_obs_disabled_overhead():
+    """Acceptance gate for the observability layer: with obs disabled
+    (the default), the instrumented render path must stay within 5% of
+    the vectorized timing recorded by the channel bench earlier in this
+    same ``make bench-micro`` run (same machine, same process — an
+    apples-to-apples comparison).  The enabled-mode cost is measured and
+    recorded too, informationally."""
+    from repro import obs
+
+    assert not obs.enabled(), "obs must be disabled for tier-1/bench runs"
+    bench_path = Path(os.environ.get("BENCH_CHANNEL_JSON",
+                                     ".benchmarks/BENCH_channel.json"))
+    if not bench_path.exists():
+        pytest.skip("run the channel bench first (make bench-micro)")
+    data = json.loads(bench_path.read_text())
+    key = "channel_render_200emitters_600win"
+    if key not in data:
+        pytest.skip(f"no {key} record in {bench_path}")
+    baseline_ms = data[key]["vectorized_ms"]
+
+    num_windows = 600
+    first_tick = 5400
+    channel = _chirping_channel(200)
+
+    def sweep():
+        channel.invalidate_render_cache()
+        _render_sweep(channel, channel.render_at, first_tick, num_windows)
+
+    sweep()  # warm numpy/caches before timing
+    disabled_s = _best_of(sweep, repeats=5)
+
+    # Enabled-mode ratio: instruments are captured at construction, so
+    # the observed channel must be built under an enabled registry.
+    obs.enable()
+    try:
+        observed = _chirping_channel(200)
+
+        def observed_sweep():
+            observed.invalidate_render_cache()
+            _render_sweep(observed, observed.render_at, first_tick,
+                          num_windows)
+
+        observed_sweep()
+        enabled_s = _best_of(observed_sweep, repeats=5)
+    finally:
+        obs.disable()
+
+    overhead = disabled_s * 1e3 / baseline_ms - 1.0
+    _record_perf("obs_disabled_overhead_200emitters_600win", {
+        "baseline_ms": baseline_ms,
+        "disabled_ms": disabled_s * 1e3,
+        "enabled_ms": enabled_s * 1e3,
+        "disabled_overhead": overhead,
+        "enabled_over_baseline": enabled_s * 1e3 / baseline_ms,
+    })
+    print(f"\nobs overhead 200 emitters / 600 windows: "
+          f"baseline {baseline_ms:.1f} ms, "
+          f"disabled {disabled_s*1e3:.1f} ms ({overhead:+.1%}), "
+          f"enabled {enabled_s*1e3:.1f} ms "
+          f"({enabled_s*1e3/baseline_ms:.2f}x baseline)")
+    assert overhead < 0.05
 
 
 @pytest.mark.perf

@@ -47,6 +47,7 @@ IEEE operations per sample in the same order).
 from __future__ import annotations
 
 import math
+import time as _time
 from bisect import bisect_left, bisect_right, insort
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -54,6 +55,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from .. import obs
 from .signal import DEFAULT_SAMPLE_RATE, AudioSignal, db_to_amplitude
 from .synth import ToneSpec, raised_cosine_envelope, signalling_ramp
 
@@ -198,8 +200,33 @@ class AcousticChannel:
         self._window_cache: OrderedDict[
             tuple[Position, float, float], np.ndarray
         ] = OrderedDict()
-        self.render_cache_hits = 0
-        self.render_cache_misses = 0
+        # Registry-backed, API-compatible memo stats (repro.obs).
+        self._m_memo_hits = obs.counter("channel.memo_hits")
+        self._m_memo_misses = obs.counter("channel.memo_misses")
+        self._m_pruned = obs.counter("channel.tones_pruned")
+        self._obs = obs.get_registry()
+        if self._obs is not None:
+            self._m_render_ms = self._obs.register(
+                obs.Histogram("channel.render_ms")
+            )
+            self._m_scanned = self._obs.register(
+                obs.Counter("channel.tones_scanned")
+            )
+            self._m_bisected = self._obs.register(
+                obs.Counter("channel.tones_bisected_past")
+            )
+            self._obs.gauge_fn("channel.scheduled_tones",
+                               lambda: len(self._tones))
+
+    @property
+    def render_cache_hits(self) -> int:
+        """Window-memo hits served by :meth:`render_at`."""
+        return self._m_memo_hits.value
+
+    @property
+    def render_cache_misses(self) -> int:
+        """Window renders that had to be synthesized cold."""
+        return self._m_memo_misses.value
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -308,6 +335,7 @@ class AcousticChannel:
             del self._index_starts[:split]
             del self._index_entries[:split]
             self._index_starts_array = None
+            self._m_pruned.inc(dropped)
         self.invalidate_render_cache()
         return dropped
 
@@ -410,9 +438,11 @@ class AcousticChannel:
         cached = self._window_cache.get(key)
         if cached is not None:
             self._window_cache.move_to_end(key)
-            self.render_cache_hits += 1
+            self._m_memo_hits.inc()
             return AudioSignal(cached, self.sample_rate)
-        self.render_cache_misses += 1
+        self._m_memo_misses.inc()
+        observed = self._obs is not None
+        wall_start = _time.perf_counter() if observed else 0.0
         count = int(round((end - start) * self.sample_rate))
         mix = np.zeros(count)
         if count:
@@ -420,6 +450,8 @@ class AcousticChannel:
             for bed in self._noise_beds:
                 gain, delay = self._bed_geometry_for(listener, bed)
                 self._mix_noise(mix, bed, start, gain, delay)
+        if observed:
+            self._m_render_ms.observe((_time.perf_counter() - wall_start) * 1e3)
         mix.setflags(write=False)
         self._window_cache[key] = mix
         if len(self._window_cache) > WINDOW_CACHE_SIZE:
@@ -448,12 +480,17 @@ class AcousticChannel:
         # comparison.
         max_delay = self._max_echo_delay + self._max_propagation_delay(listener)
         first = bisect_left(self._index_ends, window_start - max_delay)
+        observed = self._obs is not None
+        if observed:
+            self._m_bisected.inc(first)
         if first >= len(self._index_entries):
             return
         starts = self._index_starts_array
         if starts is None:
             starts = self._index_starts_array = np.asarray(self._index_starts)
         candidates = np.nonzero(starts[first:] < window_end)[0]
+        if observed:
+            self._m_scanned.inc(len(candidates))
         if len(candidates) == 0:
             return
 

@@ -17,8 +17,10 @@ DESIGN.md §5:
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 
+from .. import obs
 from .fft import Spectrum, SpectrumAnalyzer
 from .goertzel import GoertzelBank, GoertzelResult
 from .signal import AudioSignal
@@ -115,6 +117,14 @@ class FrequencyDetector:
         self.backend = backend
         self._analyzer = analyzer or SpectrumAnalyzer(zero_pad_factor=2)
         self._goertzel = GoertzelBank(self.watched) if backend == "goertzel" else None
+        # Observability (repro.obs).  Detectors are rebuilt whenever the
+        # watch list changes, so the instruments are get-or-create on the
+        # registry (shared across rebuilds) rather than per-instance.
+        self._obs = obs.get_registry()
+        if self._obs is not None:
+            self._m_detect_ms = self._obs.histogram("detector.detect_ms")
+            self._m_windows = self._obs.counter("detector.windows")
+            self._m_events = self._obs.counter("detector.events")
 
     def detect(self, window: AudioSignal, time: float = 0.0) -> list[DetectionEvent]:
         """Watched frequencies present in one capture window.
@@ -124,9 +134,19 @@ class FrequencyDetector:
         """
         if len(window) == 0:
             return []
+        if self._obs is None:
+            if self.backend == "goertzel":
+                return self._detect_goertzel(window, time)
+            return self._detect_fft(window, time)
+        wall_start = _time.perf_counter()
         if self.backend == "goertzel":
-            return self._detect_goertzel(window, time)
-        return self._detect_fft(window, time)
+            events = self._detect_goertzel(window, time)
+        else:
+            events = self._detect_fft(window, time)
+        self._m_detect_ms.observe((_time.perf_counter() - wall_start) * 1e3)
+        self._m_windows.inc()
+        self._m_events.inc(len(events))
+        return events
 
     def detect_stream(
         self,

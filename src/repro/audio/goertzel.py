@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from .fft import hann_taper
 from .signal import AudioSignal, amplitude_to_db
 
@@ -130,6 +131,11 @@ class GoertzelBank:
         self._probe_tables: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
         # sample_rate -> probe frequency array.
         self._probe_freqs: dict[int, np.ndarray] = {}
+        # Observability: per-window floor estimates (get-or-create, so
+        # rebuilt banks keep feeding the same histogram).
+        self._obs = obs.get_registry()
+        if self._obs is not None:
+            self._m_floor_db = self._obs.histogram("goertzel.floor_db")
 
     # ------------------------------------------------------------------
     # Phasor caches
@@ -234,6 +240,8 @@ class GoertzelBank:
         frames = signal.samples[np.newaxis, :]
         magnitudes = self.analyze_block(frames, signal.sample_rate)[0]
         floor = self.floor_block(frames, signal.sample_rate)[0]
+        if self._obs is not None and floor > 0:
+            self._m_floor_db.observe(amplitude_to_db(float(floor)))
         threshold = max(floor, 1e-12) * 10.0 ** (threshold_db / 20.0)
         return [
             GoertzelResult(freq, float(mag))

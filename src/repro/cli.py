@@ -178,6 +178,41 @@ def run_xext(args: argparse.Namespace) -> None:
     ])
 
 
+def run_obs(args: argparse.Namespace) -> None:
+    """Run one experiment under ``repro.obs`` and print/export metrics."""
+    from pathlib import Path
+
+    from . import obs
+
+    registry, tracer = obs.enable()
+    try:
+        EXPERIMENTS[args.experiment][1](args)
+        print()
+        print(registry.report())
+        print()
+        print(tracer.report())
+        hits = registry.total("channel.memo_hits")
+        misses = registry.total("channel.memo_misses")
+        renders = hits + misses
+        print("\n== derived")
+        print(f"   render memo hit rate: "
+              f"{hits / renders if renders else 0.0:.1%} "
+              f"({hits:.0f}/{renders:.0f})")
+        occupancy = registry.get("queue.occupancy")
+        if isinstance(occupancy, obs.Histogram) and occupancy.count:
+            print(f"   queue occupancy: p50={occupancy.p50:.0f} "
+                  f"p90={occupancy.p90:.0f} max={occupancy.max:.0f} pkts "
+                  f"({occupancy.count} samples)")
+        path = Path(".benchmarks") / f"OBS_{args.experiment}.json"
+        registry.export(path, extra={
+            "experiment": args.experiment,
+            "trace": tracer.snapshot(limit=200),
+        })
+        print(f"   wrote {path}")
+    finally:
+        obs.disable()
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
     "fig2a": ("FFT of simultaneous switches", run_fig2a),
     "fig2b": ("FFT processing-time CDF", run_fig2b),
@@ -297,6 +332,23 @@ def build_parser() -> argparse.ArgumentParser:
     render_parser.add_argument("scene", choices=sorted(RENDERS),
                                help="which soundscape to render")
     render_parser.add_argument("output", help="output .wav path")
+
+    obs_parser = subparsers.add_parser(
+        "obs", help="run one experiment under the observability layer"
+    )
+    obs_parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS),
+        help="which figure/study to run instrumented",
+    )
+    obs_parser.add_argument("--song", action="store_true",
+                            help="add the pop-song interferer (fig4*)")
+    obs_parser.add_argument("--noise", action="store_true",
+                            help="add background noise (fig2a)")
+    obs_parser.add_argument("--switches", type=int, default=5,
+                            help="switch count for fig2a")
+    obs_parser.add_argument("--samples", type=int, default=1000,
+                            help="sample count for fig2b")
     return parser
 
 
@@ -311,6 +363,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "render":
         run_render(args)
+        return 0
+    if args.command == "obs":
+        run_obs(args)
         return 0
     targets = (sorted(EXPERIMENTS) if args.experiment == "all"
                else [args.experiment])

@@ -134,6 +134,16 @@ class HeavyHitterDetectorApp:
         # Rolling the counter forward on every window closes intervals
         # even when no tones arrive.
         self.counter.flush(time)
+        self._scan_closed()
+
+    def finalize(self, now: float) -> None:
+        """Close the trailing partial interval and apply the rule to it
+        — call once when the run ends, or onsets from the final
+        sub-interval are silently dropped."""
+        self.counter.flush(now, close_partial=True)
+        self._scan_closed()
+
+    def _scan_closed(self) -> None:
         for interval in self.counter.closed:
             for frequency, count in sorted(interval.counts.items()):
                 key = (interval.start, frequency)

@@ -132,6 +132,16 @@ class PortScanDetectorApp:
 
     def _on_window(self, events, time: float) -> None:
         self.counter.flush(time)
+        self._scan_closed()
+
+    def finalize(self, now: float) -> None:
+        """Close the trailing partial interval and apply the rule to it
+        — call once when the run ends, or a scan burst inside the final
+        sub-interval is silently dropped."""
+        self.counter.flush(now, close_partial=True)
+        self._scan_closed()
+
+    def _scan_closed(self) -> None:
         for interval in self.counter.intervals_with_distinct_over(
             self.distinct_threshold
         ):

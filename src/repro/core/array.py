@@ -15,9 +15,11 @@ audible again through their local station.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from typing import Callable
 
+from .. import obs
 from ..audio.channel import AcousticChannel
 from ..audio.detector import DetectionEvent, FrequencyDetector
 from ..audio.devices import Microphone
@@ -78,7 +80,6 @@ class MicrophoneArray:
         self.min_level_db = min_level_db
         self.prune_every = prune_every
         self.prune_margin = prune_margin
-        self.tones_pruned = 0
         self._subscribers: dict[float, list[ArrayCallback]] = {}
         self._onset_subscribers: dict[float, list[ArrayCallback]] = {}
         self._detector: FrequencyDetector | None = None
@@ -86,7 +87,25 @@ class MicrophoneArray:
         self._previous: set[float] = set()
         #: frequency -> station that last reported it (coverage map).
         self.coverage: dict[float, str] = {}
-        self.windows_processed = 0
+        # Registry-backed, API-compatible counters (repro.obs).
+        self._m_windows = obs.counter("array.windows_processed")
+        self._m_tones_pruned = obs.counter("array.tones_pruned")
+        self._m_merged = obs.counter("array.merged_detections")
+        self._obs = obs.get_registry()
+        if self._obs is not None:
+            self._m_window_ms = self._obs.register(
+                obs.Histogram("array.window_ms")
+            )
+
+    @property
+    def windows_processed(self) -> int:
+        """Common-clock windows processed across all stations."""
+        return self._m_windows.value
+
+    @property
+    def tones_pruned(self) -> int:
+        """Channel tones dropped by the array's periodic prune."""
+        return self._m_tones_pruned.value
 
     def watch(
         self,
@@ -129,24 +148,31 @@ class MicrophoneArray:
 
     def _listen_once(self) -> None:
         assert self._detector is not None
+        observed = self._obs is not None
+        wall_start = _time.perf_counter() if observed else 0.0
         end = self.sim.now
         start = end - self.listen_interval
         # frequency -> (best event, best station, all stations that heard)
         merged: dict[float, tuple[DetectionEvent, str, list[str]]] = {}
-        for name in sorted(self.stations):
-            capture = self.stations[name].record(self.channel, start, end)
-            for event in self._detector.detect(capture, start):
-                current = merged.get(event.frequency)
-                if current is None:
-                    merged[event.frequency] = (event, name, [name])
-                else:
-                    best_event, best_station, heard = current
-                    heard.append(name)
-                    if event.level_db > best_event.level_db:
-                        merged[event.frequency] = (event, name, heard)
-        self.windows_processed += 1
+        with obs.span("array.window", start=start,
+                      stations=len(self.stations)):
+            for name in sorted(self.stations):
+                capture = self.stations[name].record(self.channel, start, end)
+                for event in self._detector.detect(capture, start):
+                    current = merged.get(event.frequency)
+                    if current is None:
+                        merged[event.frequency] = (event, name, [name])
+                    else:
+                        best_event, best_station, heard = current
+                        heard.append(name)
+                        if event.level_db > best_event.level_db:
+                            merged[event.frequency] = (event, name, heard)
+        self._m_windows.inc()
+        self._m_merged.inc(len(merged))
+        if observed:
+            self._m_window_ms.observe((_time.perf_counter() - wall_start) * 1e3)
         if self.prune_every and self.windows_processed % self.prune_every == 0:
-            self.tones_pruned += self.channel.prune(start, self.prune_margin)
+            self._m_tones_pruned.inc(self.channel.prune(start, self.prune_margin))
 
         present = set(merged)
         for frequency in sorted(merged):

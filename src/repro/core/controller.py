@@ -18,8 +18,10 @@ previously closed port".  This class is that application:
 
 from __future__ import annotations
 
+import time as _time
 from typing import Callable
 
+from .. import obs
 from ..audio.channel import AcousticChannel
 from ..audio.detector import DetectionEvent, FrequencyDetector
 from ..audio.devices import Microphone
@@ -95,10 +97,41 @@ class MDNController(ControllerBase):
         self._detector: FrequencyDetector | None = None
         self._timer: PeriodicTimer | None = None
         self._previous_window: set[float] = set()
-        self.windows_processed = 0
-        self.detections = 0
-        self.onsets = 0
-        self.tones_pruned = 0
+        # API-compatible counters, registry-backed (repro.obs): visible
+        # in metric reports when observability is enabled, free-floating
+        # ints-with-a-name otherwise.
+        self._m_windows = obs.counter("controller.windows_processed")
+        self._m_detections = obs.counter("controller.detections")
+        self._m_onsets = obs.counter("controller.onsets")
+        self._m_tones_pruned = obs.counter("controller.tones_pruned")
+        self._obs = obs.get_registry()
+        if self._obs is not None:
+            self._m_window_ms = self._obs.register(
+                obs.Histogram("controller.window_ms")
+            )
+            self._m_events_per_window = self._obs.register(
+                obs.Histogram("controller.detections_per_window")
+            )
+
+    @property
+    def windows_processed(self) -> int:
+        """Capture windows processed since construction."""
+        return self._m_windows.value
+
+    @property
+    def detections(self) -> int:
+        """Window-level detections dispatched since construction."""
+        return self._m_detections.value
+
+    @property
+    def onsets(self) -> int:
+        """Tone onsets dispatched since construction."""
+        return self._m_onsets.value
+
+    @property
+    def tones_pruned(self) -> int:
+        """Channel tones dropped by this controller's periodic prune."""
+        return self._m_tones_pruned.value
 
     # ------------------------------------------------------------------
     # Subscription
@@ -155,9 +188,14 @@ class MDNController(ControllerBase):
         self._timer = self.sim.every(self.listen_interval, self._listen_once)
 
     def stop(self) -> None:
+        """Stop listening.  Clears the onset-suppression state: a tone
+        that starts while the controller is stopped must fire an onset
+        on the first window after a restart, not be mistaken for a
+        continuation of a pre-stop tone."""
         if self._timer is not None:
             self._timer.stop()
             self._timer = None
+        self._previous_window = set()
 
     def _build_detector(self) -> None:
         self._detector = FrequencyDetector(
@@ -169,27 +207,35 @@ class MDNController(ControllerBase):
 
     def _listen_once(self) -> None:
         """Capture the window that just elapsed and dispatch events."""
+        observed = self._obs is not None
+        wall_start = _time.perf_counter() if observed else 0.0
         end = self.sim.now
         start = end - self.listen_interval
-        window = self.microphone.record(self.channel, start, end)
-        assert self._detector is not None
-        events = self._detector.detect(window, start)
-        self.windows_processed += 1
-        self.detections += len(events)
+        with obs.span("controller.window", start=start):
+            window = self.microphone.record(self.channel, start, end)
+            assert self._detector is not None
+            events = self._detector.detect(window, start)
+            self._m_windows.inc()
+            self._m_detections.inc(len(events))
 
-        present = {event.frequency for event in events}
-        for event in events:
-            for callback in self._detection_subscribers.get(event.frequency, ()):
-                callback(event)
-            if event.frequency not in self._previous_window:
-                self.onsets += 1
-                for callback in self._onset_subscribers.get(event.frequency, ()):
+            present = {event.frequency for event in events}
+            for event in events:
+                for callback in self._detection_subscribers.get(event.frequency, ()):
                     callback(event)
-        for callback in self._any_window_subscribers:
-            callback(events, start)
-        self._previous_window = present
-        if self.prune_every and self.windows_processed % self.prune_every == 0:
-            self.tones_pruned += self.channel.prune(start, self.prune_margin)
+                if event.frequency not in self._previous_window:
+                    self._m_onsets.inc()
+                    for callback in self._onset_subscribers.get(event.frequency, ()):
+                        callback(event)
+            for callback in self._any_window_subscribers:
+                callback(events, start)
+            self._previous_window = present
+            if self.prune_every and self.windows_processed % self.prune_every == 0:
+                self._m_tones_pruned.inc(
+                    self.channel.prune(start, self.prune_margin)
+                )
+        if observed:
+            self._m_window_ms.observe((_time.perf_counter() - wall_start) * 1e3)
+            self._m_events_per_window.observe(len(events))
 
     # ------------------------------------------------------------------
     # SDN southbound

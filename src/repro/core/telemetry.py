@@ -61,11 +61,24 @@ class ToneCounter:
         self._current[event.frequency] = self._current.get(event.frequency, 0) + 1
 
     def _roll_to(self, time: float) -> None:
+        """Advance the active interval to the one containing ``time``.
+
+        Skip-ahead semantics: the elapsed interval is closed only when
+        it actually counted something, and the gap up to ``time`` is
+        jumped in one step — an hour of silence on a sparse onset
+        stream appends *nothing* instead of 3600 empty
+        :class:`IntervalCounts`.
+        """
         if self._current_start is None:
             self._current_start = self._align(time)
             return
-        while time >= self._current_start + self.interval:
+        if time < self._current_start + self.interval:
+            return
+        if self._current:
             self._close_interval()
+        aligned = self._align(time)
+        if aligned > self._current_start:
+            self._current_start = aligned
 
     def _align(self, time: float) -> float:
         return (time // self.interval) * self.interval
@@ -79,10 +92,25 @@ class ToneCounter:
         self._current = {}
         self._current_start = end
 
-    def flush(self, now: float) -> None:
-        """Close any interval that has fully elapsed by ``now``."""
-        if self._current_start is not None:
-            self._roll_to(now)
+    def flush(self, now: float, close_partial: bool = False) -> None:
+        """Close any interval that has fully elapsed by ``now``.
+
+        With ``close_partial=True`` the still-open trailing interval is
+        also closed, as ``[start, now)`` — call this once at the end of
+        a run, or onsets from the final sub-interval are never counted
+        (they sat in the open histogram forever).  A later observation
+        simply starts a fresh aligned interval.
+        """
+        if self._current_start is None:
+            return
+        self._roll_to(now)
+        if close_partial and self._current and now > self._current_start:
+            snapshot = IntervalCounts(self._current_start, now,
+                                      dict(self._current))
+            self.closed.append(snapshot)
+            self.totals.record(now, snapshot.total)
+            self._current = {}
+            self._current_start = None
 
     # ------------------------------------------------------------------
     # Rules

@@ -74,6 +74,7 @@ def heavy_hitter_experiment(
     )
     mix.launch()
     testbed.sim.run(duration)
+    app.finalize(duration)
 
     heavy_flow = mix.heavy_flows[0]
     heavy_frequency = mapper.frequency_of(heavy_flow)
@@ -129,6 +130,7 @@ def port_scan_experiment(
                           interval=scan_interval)
     scan.launch()
     testbed.sim.run(duration)
+    app.finalize(duration)
 
     capture = testbed.controller.microphone.record(
         testbed.channel, 0.0, scan_interval * len(SCAN_PORTS) + 0.5

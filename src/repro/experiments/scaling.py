@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..audio import (
     AcousticChannel,
     FrequencyDetector,
@@ -40,6 +41,7 @@ class ScalePoint:
     plan_utilization: float   #: fraction of plan capacity consumed
     render_ms: float = 0.0    #: cold synthesis wall time for the window
     cached_render_ms: float = 0.0  #: re-poll wall time (window memo hit)
+    memo_hits: int = 0        #: channel render-memo hits (registry-backed)
 
 
 def monitoring_scale_sweep(
@@ -58,6 +60,28 @@ def monitoring_scale_sweep(
     """
     if not 0 < active_fraction <= 1:
         raise ValueError("active_fraction must be in (0, 1]")
+    # The sweep runs under the observability layer so per-point render/
+    # detect costs land in the shared registry (and memo-hit counts come
+    # from the channel's registry-backed counters rather than ad-hoc
+    # bookkeeping).  If the caller already enabled obs, reuse theirs.
+    was_enabled = obs.enabled()
+    obs.enable()
+    try:
+        return _sweep(device_counts, active_fraction, window_duration,
+                      guard_hz, level_db, seed)
+    finally:
+        if not was_enabled:
+            obs.disable()
+
+
+def _sweep(
+    device_counts: tuple[int, ...],
+    active_fraction: float,
+    window_duration: float,
+    guard_hz: float,
+    level_db: float,
+    seed: int,
+) -> list[ScalePoint]:
     results = []
     for count in device_counts:
         plan = FrequencyPlan(low_hz=400.0,
@@ -80,22 +104,25 @@ def monitoring_scale_sweep(
                 Position(0.5 + 0.01 * index, 0.0, 0.0),
             )
         microphone = Microphone(Position(), seed=seed)
-        start = time.perf_counter()
-        window = microphone.record(
-            channel, window_duration * 0.25, window_duration * 1.05
-        )
-        render_s = time.perf_counter() - start
+        with obs.span("scaling.render", devices=count):
+            start = time.perf_counter()
+            window = microphone.record(
+                channel, window_duration * 0.25, window_duration * 1.05
+            )
+            render_s = time.perf_counter() - start
         # A second listener polling the same (position, window) hits the
         # channel's render memo; measure that path too.
-        start = time.perf_counter()
-        microphone.record(
-            channel, window_duration * 0.25, window_duration * 1.05
-        )
-        cached_render_s = time.perf_counter() - start
+        with obs.span("scaling.cached_render", devices=count):
+            start = time.perf_counter()
+            microphone.record(
+                channel, window_duration * 0.25, window_duration * 1.05
+            )
+            cached_render_s = time.perf_counter() - start
         detector = FrequencyDetector(frequencies)
-        start = time.perf_counter()
-        events = detector.detect(window)
-        elapsed = time.perf_counter() - start
+        with obs.span("scaling.detect", devices=count):
+            start = time.perf_counter()
+            events = detector.detect(window)
+            elapsed = time.perf_counter() - start
 
         heard = {event.frequency for event in events}
         active_frequencies = {frequencies[index] for index in active}
@@ -109,5 +136,6 @@ def monitoring_scale_sweep(
             plan_utilization=count / plan.capacity,
             render_ms=render_s * 1000.0,
             cached_render_ms=cached_render_s * 1000.0,
+            memo_hits=channel.render_cache_hits,
         ))
     return results

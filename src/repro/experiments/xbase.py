@@ -74,6 +74,7 @@ def sketch_vs_mdn(
     mix.launch()
     testbed.sim.run(duration)
     sketch.flush(duration)
+    mdn_app.finalize(duration)
 
     heavy = mix.heavy_flows[0]
     heavy_frequency = mapper.frequency_of(heavy)

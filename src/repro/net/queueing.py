@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from .. import obs
 from .packet import Packet
 from .stats import TimeSeries
 
@@ -44,6 +45,13 @@ class PacketQueue:
         self.dropped = 0
         self.peak_length = 0
         self.occupancy = TimeSeries(f"{name}.occupancy" if name else "occupancy")
+        # Observability: one fleet-wide occupancy histogram and drop
+        # counter shared by every queue (get-or-create) — the per-queue
+        # breakdown stays in the TimeSeries / int counters above.
+        self._obs = obs.get_registry()
+        if self._obs is not None:
+            self._m_occupancy = self._obs.histogram("queue.occupancy")
+            self._m_drops = self._obs.counter("queue.drops")
 
     def __len__(self) -> int:
         return len(self._items)
@@ -60,6 +68,8 @@ class PacketQueue:
         """Append a packet; returns False (and counts a drop) when full."""
         if self.is_full:
             self.dropped += 1
+            if self._obs is not None:
+                self._m_drops.inc()
             return False
         self._items.append(packet)
         self.enqueued += 1
@@ -81,6 +91,8 @@ class PacketQueue:
         """Record and return the instantaneous occupancy (the tc poll)."""
         length = len(self._items)
         self.occupancy.record(time, length)
+        if self._obs is not None:
+            self._m_occupancy.observe(length)
         return length
 
     def bytes_queued(self) -> int:

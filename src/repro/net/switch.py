@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from .. import obs
 from .flowtable import Action, ActionType, FlowEntry, FlowTable, Match
 from .link import Node
 from .packet import Packet
@@ -65,6 +66,14 @@ class Switch(Node):
         self.bytes_received = Counter(f"{name}.bytes_received")
         self._receive_hooks: list[PacketHook] = []
         self._forward_hooks: list[ForwardHook] = []
+        # Observability: mirror the data-plane totals as pull gauges so
+        # metric reports/exports include them at zero hot-path cost.
+        registry = obs.get_registry()
+        if registry is not None:
+            for counter in (self.packets_received, self.packets_forwarded,
+                            self.packets_dropped, self.bytes_received):
+                registry.gauge_fn(f"switch.{counter.name}",
+                                  lambda c=counter: c.total)
 
     # ------------------------------------------------------------------
     # Hooks (where MusicAgents attach)

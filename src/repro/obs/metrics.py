@@ -1,0 +1,302 @@
+"""Metric instruments and the hierarchical registry behind ``repro.obs``.
+
+Three instrument kinds cover everything the experiments need to see:
+
+* :class:`Counter` — monotonically increasing totals (events processed,
+  memo hits, drops);
+* :class:`Gauge` — last-observed values, either pushed (``set``) or
+  pulled at snapshot time (:class:`CallbackGauge`, e.g. heap depth);
+* :class:`Histogram` — bounded-reservoir distributions with the
+  quantiles the paper's Fig 2b reports (p50/p90/p99).
+
+Instruments live in a :class:`MetricsRegistry` under hierarchical
+dotted names (``controller.window_ms``, ``channel.memo_hits``).  The
+registry renders a human-readable report, snapshots to plain dicts and
+exports JSON (``.benchmarks/OBS_*.json``).  Instruments can also float
+free of any registry — that is how components keep per-instance
+counters API-compatible when observability is disabled (see
+``repro.obs``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import Callable
+
+#: Default histogram reservoir size.  4096 samples bound memory while
+#: keeping p99 meaningful for any experiment-scale stream.
+DEFAULT_HISTOGRAM_CAPACITY = 4096
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int | float = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-value instrument (queue occupancy, heap depth...)."""
+
+    __slots__ = ("name", "value", "updates")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updates += 1
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value, "updates": self.updates}
+
+
+class CallbackGauge:
+    """A gauge evaluated lazily at snapshot time — zero hot-path cost."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[], float]) -> None:
+        self.name = name
+        self.fn = fn
+
+    @property
+    def value(self) -> float:
+        return self.fn()
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A distribution with running stats and reservoir quantiles.
+
+    Keeps exact ``count``/``sum``/``min``/``max`` over every observation
+    plus a bounded ring of the most recent ``capacity`` samples;
+    quantiles are computed over the retained ring (exact until the ring
+    wraps, recent-biased after).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_samples", "_capacity", "_cursor")
+
+    def __init__(self, name: str,
+                 capacity: int = DEFAULT_HISTOGRAM_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: list[float] = []
+        self._capacity = capacity
+        self._cursor = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < self._capacity:
+            self._samples.append(value)
+        else:
+            self._samples[self._cursor] = value
+            self._cursor = (self._cursor + 1) % self._capacity
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile over the retained samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        position = q * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float:
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def snapshot(self) -> dict:
+        if not self.count:
+            return {"type": "histogram", "count": 0}
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+        }
+
+
+Instrument = Counter | Gauge | CallbackGauge | Histogram
+
+
+class MetricsRegistry:
+    """Hierarchically named instruments for one deployment/run.
+
+    ``counter``/``gauge``/``histogram`` get-or-create shared
+    instruments by name (ad-hoc use: benchmarks, experiments).
+    :meth:`register` attaches an externally owned instrument and
+    de-duplicates colliding names with a numeric suffix, which is how
+    per-component-instance counters stay per-instance while remaining
+    visible in one report.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Instrument] = {}
+
+    # -- creation ------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str,
+                  capacity: int = DEFAULT_HISTOGRAM_CAPACITY) -> Histogram:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}"
+                )
+            return existing
+        instrument = Histogram(name, capacity)
+        self._instruments[name] = instrument
+        return instrument
+
+    def gauge_fn(self, name: str, fn: Callable[[], float]) -> CallbackGauge:
+        """Register a pull-style gauge evaluated at snapshot time."""
+        return self.register(CallbackGauge(name, fn))
+
+    def _get_or_create(self, name: str, cls) -> Instrument:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}"
+                )
+            return existing
+        instrument = cls(name)
+        self._instruments[name] = instrument
+        return instrument
+
+    def register(self, instrument):
+        """Attach an externally created instrument, de-duplicating its
+        name (``name``, ``name#2``, ``name#3``...).  Returns the
+        instrument, whose ``name`` reflects the registered key."""
+        base = instrument.name
+        name, suffix = base, 2
+        while name in self._instruments:
+            name = f"{base}#{suffix}"
+            suffix += 1
+        instrument.name = name
+        self._instruments[name] = instrument
+        return instrument
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, name: str) -> Instrument | None:
+        return self._instruments.get(name)
+
+    def names(self, prefix: str = "") -> list[str]:
+        return sorted(n for n in self._instruments if n.startswith(prefix))
+
+    def total(self, prefix: str) -> float:
+        """Sum of counter/gauge values whose names start with ``prefix``
+        (a de-dup-suffix-tolerant aggregate, e.g. ``channel.memo_hits``)."""
+        return sum(
+            self._instruments[name].value
+            for name in self.names(prefix)
+            if not isinstance(self._instruments[name], Histogram)
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- output --------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict]:
+        return {
+            name: self._instruments[name].snapshot()
+            for name in self.names()
+        }
+
+    def report(self) -> str:
+        """A printable table of every instrument, histograms with the
+        Fig 2b quantiles."""
+        lines = ["== metrics"]
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                if instrument.count:
+                    lines.append(
+                        f"   {name:<40} n={instrument.count:<8} "
+                        f"mean={instrument.mean:.4g} "
+                        f"p50={instrument.p50:.4g} "
+                        f"p90={instrument.p90:.4g} "
+                        f"p99={instrument.p99:.4g} "
+                        f"max={instrument.max:.4g}"
+                    )
+                else:
+                    lines.append(f"   {name:<40} n=0")
+            else:
+                value = instrument.value
+                shown = f"{value:.6g}" if isinstance(value, float) else value
+                lines.append(f"   {name:<40} {shown}")
+        return "\n".join(lines)
+
+    def export(self, path: str | Path, extra: dict | None = None) -> Path:
+        """Write the snapshot (plus optional extra payload) as JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"timestamp": time.time(), "metrics": self.snapshot()}
+        if extra:
+            payload.update(extra)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                                   default=str) + "\n")
+        return path

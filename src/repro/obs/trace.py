@@ -1,0 +1,167 @@
+"""A bounded ring-buffer tracer with sim-time + wall-time spans.
+
+Latency claims about the listening pipeline only hold up when both
+clocks are visible (ChirpCast, teleorchestra — PAPERS.md): a span is
+stamped with the *simulation* time it covers (when a clock is bound)
+and the ``perf_counter`` wall time it actually cost.  The buffer is a
+``deque(maxlen=capacity)`` so an hour-long run cannot grow memory —
+older spans fall off the back; ``started`` keeps the lifetime total.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Default span ring capacity.
+DEFAULT_TRACE_CAPACITY = 2048
+
+
+@dataclass
+class Span:
+    """One completed (or in-flight) traced region."""
+
+    name: str
+    attrs: dict = field(default_factory=dict)
+    #: Simulation-clock stamps (None when no clock is bound).
+    sim_start: float | None = None
+    sim_end: float | None = None
+    #: ``perf_counter`` stamps, seconds.
+    wall_start: float = 0.0
+    wall_end: float = 0.0
+    #: Nesting depth at entry (0 = top level).
+    depth: int = 0
+
+    @property
+    def wall_ms(self) -> float:
+        return (self.wall_end - self.wall_start) * 1e3
+
+    @property
+    def sim_duration(self) -> float | None:
+        if self.sim_start is None or self.sim_end is None:
+            return None
+        return self.sim_end - self.sim_start
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "sim_start": self.sim_start,
+            "sim_end": self.sim_end,
+            "wall_ms": self.wall_ms,
+            "depth": self.depth,
+        }
+
+
+class _SpanContext:
+    """Context manager that finalizes a span on exit."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._finish(self.span)
+        return False
+
+
+class Tracer:
+    """Bounded span recorder.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size; the oldest completed spans are evicted first.
+    clock:
+        Optional zero-argument callable returning the current simulation
+        time.  ``Simulator`` binds itself via :meth:`bind_clock` at
+        construction when tracing is enabled.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY,
+                 clock: Callable[[], float] | None = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._clock = clock
+        self._depth = 0
+        #: Lifetime count of spans started (survives ring eviction).
+        self.started = 0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the simulation clock used for sim-time stamps."""
+        self._clock = clock
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a traced region::
+
+            with tracer.span("render", listener=position):
+                ...
+        """
+        sim_now = self._clock() if self._clock is not None else None
+        record = Span(name=name, attrs=attrs, sim_start=sim_now,
+                      wall_start=time.perf_counter(), depth=self._depth)
+        self._depth += 1
+        self.started += 1
+        return _SpanContext(self, record)
+
+    def _finish(self, span: Span) -> None:
+        span.wall_end = time.perf_counter()
+        if self._clock is not None:
+            span.sim_end = self._clock()
+        self._depth = max(0, self._depth - 1)
+        self._spans.append(span)
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Completed spans, oldest first (bounded by ``capacity``)."""
+        return tuple(self._spans)
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self._depth = 0
+
+    def by_name(self, name: str) -> list[Span]:
+        return [span for span in self._spans if span.name == name]
+
+    def report(self, limit: int = 15) -> str:
+        """Aggregate wall time per span name plus the slowest spans."""
+        totals: dict[str, tuple[int, float, float]] = {}
+        for span in self._spans:
+            count, total, worst = totals.get(span.name, (0, 0.0, 0.0))
+            totals[span.name] = (count + 1, total + span.wall_ms,
+                                 max(worst, span.wall_ms))
+        lines = [f"== trace ({len(self._spans)} spans retained, "
+                 f"{self.started} started)"]
+        for name in sorted(totals):
+            count, total, worst = totals[name]
+            lines.append(
+                f"   {name:<32} n={count:<7} total={total:.2f} ms "
+                f"mean={total / count:.4f} ms worst={worst:.4f} ms"
+            )
+        slowest = sorted(self._spans, key=lambda s: s.wall_ms,
+                         reverse=True)[:limit]
+        if slowest:
+            lines.append("   -- slowest spans")
+            for span in slowest:
+                sim = ("" if span.sim_start is None
+                       else f" @t={span.sim_start:.3f}s")
+                lines.append(
+                    f"   {'  ' * span.depth}{span.name}{sim} "
+                    f"{span.wall_ms:.4f} ms {span.attrs or ''}"
+                )
+        return "\n".join(lines)
+
+    def snapshot(self, limit: int | None = None) -> list[dict]:
+        spans = list(self._spans)
+        if limit is not None:
+            spans = spans[-limit:]
+        return [span.snapshot() for span in spans]

@@ -71,6 +71,23 @@ class TestDispatch:
         # A 350 ms tone spans 3-4 consecutive 100 ms windows.
         assert 3 <= len(hits) <= 4
 
+    def test_stop_start_round_trip_fires_fresh_onset(self, rig):
+        """Regression: ``stop()`` must clear the onset-suppression set.
+        A tone sustained across a stop/restart is news to the restarted
+        listener and must fire an onset on the first post-restart
+        window — the stale ``_previous_window`` used to swallow it."""
+        sim, agent, controller = rig
+        onsets = []
+        controller.watch([1000], on_onset=onsets.append)
+        controller.start()
+        sim.schedule_at(0.15, lambda: agent.play(1000, 2.5, 72))
+        sim.run(0.5)
+        assert len(onsets) == 1  # heard once while running
+        controller.stop()
+        controller.start()
+        sim.run(1.0)  # tone still playing on restart
+        assert len(onsets) == 2
+
     def test_onset_fires_once_per_tone(self, rig):
         sim, agent, controller = rig
         onsets = []

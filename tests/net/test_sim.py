@@ -131,6 +131,38 @@ class TestPeriodicTimer:
         sim.run(1.0)
         assert timer.fire_count == 1
 
+    def test_no_phase_drift_over_ten_thousand_firings(self):
+        """Regression: re-arming must stay on the ``origin + n*interval``
+        grid.  The old ``now + interval`` accumulation drifted ~3.6e-10
+        by the 10,000th firing of a 0.3 s timer (growing linearly), so
+        the 1e-12 bound below fails under accumulation while the grid
+        computation lands exactly."""
+        sim = Simulator()
+        interval = 0.3
+        times: list[float] = []
+        timer = sim.every(interval, lambda: times.append(sim.now))
+        sim.run(interval * 10_001)
+        assert timer.fire_count >= 10_000
+        # The nth firing sits at origin + (n-1)*interval, origin = one
+        # interval after schedule time 0.
+        worst = max(
+            abs(t - (interval + n * interval))
+            for n, t in enumerate(times[:10_000])
+        )
+        assert worst < 1e-9   # the ISSUE's acceptance bound
+        assert worst < 1e-12  # grid-exactness: fails under accumulation
+
+    def test_grid_anchored_to_explicit_start(self):
+        """With ``start=`` given, the grid origin is that start — every
+        firing lands exactly on ``start + n * interval``."""
+        sim = Simulator()
+        ticks: list[float] = []
+        sim.every(0.1, lambda: ticks.append(sim.now), start=0.05)
+        sim.run(10.1)
+        assert len(ticks) == 101
+        worst = max(abs(t - (0.05 + n * 0.1)) for n, t in enumerate(ticks))
+        assert worst < 1e-12
+
 
 class TestRunToCompletion:
     def test_drains_heap(self):

@@ -1,6 +1,8 @@
 """Unit tests for the time-series and counter helpers."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.net import Counter, TimeSeries
 
@@ -52,6 +54,29 @@ class TestTimeSeries:
             series.record(float(t), float(t))
         sub = series.window(1.0, 3.0)
         assert sub.times == [1.0, 2.0]
+
+    @given(
+        times=st.lists(
+            st.floats(0.0, 100.0, allow_nan=False), max_size=60
+        ),
+        start=st.floats(-10.0, 110.0, allow_nan=False),
+        length=st.floats(0.0, 120.0, allow_nan=False),
+    )
+    def test_window_bisect_matches_linear_scan(self, times, start, length):
+        """The bisected slice must select exactly what the old
+        ``start <= time < end`` linear scan did, duplicates included."""
+        series = TimeSeries("p")
+        for index, time in enumerate(sorted(times)):
+            series.record(time, float(index))
+        end = start + length
+        sub = series.window(start, end)
+        expected = [
+            (time, value)
+            for time, value in zip(series.times, series.values)
+            if start <= time < end
+        ]
+        assert list(zip(sub.times, sub.values)) == expected
+        assert sub.name == series.name
 
     def test_rate_series(self):
         series = TimeSeries("bytes")

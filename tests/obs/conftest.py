@@ -1,0 +1,16 @@
+"""Shared fixtures for the observability tests."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def enabled_obs():
+    """A process-global registry + tracer, torn down after the test so
+    tier-1 runs stay un-instrumented."""
+    pair = obs.enable()
+    try:
+        yield pair
+    finally:
+        obs.disable()

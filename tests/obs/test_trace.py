@@ -1,0 +1,113 @@
+"""Unit tests for the ring-buffer tracer."""
+
+import pytest
+
+from repro.obs import Tracer
+
+
+class TestSpans:
+    def test_span_records_wall_time(self):
+        tracer = Tracer()
+        with tracer.span("work", label="x"):
+            pass
+        assert len(tracer.spans) == 1
+        span = tracer.spans[0]
+        assert span.name == "work"
+        assert span.attrs == {"label": "x"}
+        assert span.wall_end >= span.wall_start
+        assert span.wall_ms >= 0.0
+
+    def test_nesting_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("innermost"):
+                    pass
+        by_name = {span.name: span for span in tracer.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        assert by_name["innermost"].depth == 2
+        # Inner spans complete (and append) before outer ones.
+        assert [s.name for s in tracer.spans] == \
+            ["innermost", "inner", "outer"]
+
+    def test_depth_recovers_after_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        with tracer.span("after"):
+            pass
+        assert tracer.by_name("after")[0].depth == 0
+
+    def test_sim_clock_stamps(self):
+        clock = [1.5]
+        tracer = Tracer(clock=lambda: clock[0])
+        with tracer.span("window"):
+            clock[0] = 1.6
+        span = tracer.spans[0]
+        assert span.sim_start == 1.5
+        assert span.sim_end == 1.6
+        assert span.sim_duration == pytest.approx(0.1)
+
+    def test_no_clock_means_no_sim_stamps(self):
+        tracer = Tracer()
+        with tracer.span("window"):
+            pass
+        span = tracer.spans[0]
+        assert span.sim_start is None
+        assert span.sim_duration is None
+
+    def test_bind_clock_after_construction(self):
+        tracer = Tracer()
+        tracer.bind_clock(lambda: 42.0)
+        with tracer.span("late"):
+            pass
+        assert tracer.spans[0].sim_start == 42.0
+
+
+class TestRing:
+    def test_ring_bounds_retained_spans(self):
+        tracer = Tracer(capacity=4)
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer.spans) == 4
+        assert [span.name for span in tracer.spans] == \
+            ["s6", "s7", "s8", "s9"]
+        assert tracer.started == 10  # lifetime count survives eviction
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_clear_resets_ring_but_not_started(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.spans == ()
+        assert tracer.started == 1
+
+
+class TestOutput:
+    def test_report_aggregates_by_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("render"):
+                pass
+        with tracer.span("detect"):
+            pass
+        report = tracer.report()
+        assert "render" in report and "n=3" in report
+        assert "detect" in report
+        assert "slowest" in report
+
+    def test_snapshot_limit(self):
+        tracer = Tracer()
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        snap = tracer.snapshot(limit=2)
+        assert [entry["name"] for entry in snap] == ["s3", "s4"]
+        assert all("wall_ms" in entry for entry in snap)
