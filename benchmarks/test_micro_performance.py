@@ -333,6 +333,46 @@ def test_perf_obs_disabled_overhead():
 
 
 @pytest.mark.perf
+def test_perf_faults_disabled_overhead():
+    """Acceptance gate for the fault-injection hooks: an attached
+    injector with nothing scheduled must render bit-identically to the
+    un-hooked channel and stay within 5% of its timing on the 200-
+    emitter render sweep (the fault path must be free when unused)."""
+    from repro.faults import FaultHarness
+
+    num_windows = 600
+    first_tick = 5400
+    bare = _chirping_channel(200)
+    hooked = _chirping_channel(200)
+    FaultHarness(Simulator(), seed=3).acoustic(hooked)
+
+    listener = Position()
+    for tick in (first_tick, first_tick + 299):
+        plain = bare.render_at(listener, tick * 0.1, (tick + 1) * 0.1)
+        faulty = hooked.render_at(listener, tick * 0.1, (tick + 1) * 0.1)
+        assert (plain.samples == faulty.samples).all()
+
+    def sweep(channel):
+        channel.invalidate_render_cache()
+        _render_sweep(channel, channel.render_at, first_tick, num_windows)
+
+    sweep(bare)
+    sweep(hooked)  # warm both before timing
+    bare_s = _best_of(lambda: sweep(bare), repeats=5)
+    hooked_s = _best_of(lambda: sweep(hooked), repeats=5)
+    overhead = hooked_s / bare_s - 1.0
+    _record_perf("faults_idle_overhead_200emitters_600win", {
+        "bare_ms": bare_s * 1e3,
+        "hooked_ms": hooked_s * 1e3,
+        "idle_overhead": overhead,
+    })
+    print(f"\nidle fault-model overhead 200 emitters / {num_windows} "
+          f"windows: bare {bare_s*1e3:.1f} ms, "
+          f"hooked {hooked_s*1e3:.1f} ms ({overhead:+.1%})")
+    assert overhead < 0.05
+
+
+@pytest.mark.perf
 def test_perf_goertzel_bank_vectorized_speedup():
     """The phasor-matrix bank must beat the scalar per-frequency loop
     by >= 5x on the paper's workload: a 16-frequency watch list over a

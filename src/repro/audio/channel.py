@@ -200,6 +200,10 @@ class AcousticChannel:
         self._window_cache: OrderedDict[
             tuple[Position, float, float], np.ndarray
         ] = OrderedDict()
+        #: Optional fault model (repro.faults): consulted per emission
+        #: and per rendered tone.  ``None`` keeps both render paths on
+        #: their original arithmetic, bit for bit.
+        self._fault_model = None
         # Registry-backed, API-compatible memo stats (repro.obs).
         self._m_memo_hits = obs.counter("channel.memo_hits")
         self._m_memo_misses = obs.counter("channel.memo_misses")
@@ -232,10 +236,28 @@ class AcousticChannel:
     # Scheduling
     # ------------------------------------------------------------------
 
+    def set_fault_model(self, model) -> None:
+        """Install (or clear, with ``None``) a fault model.
+
+        The model sees every emission via ``transform_emission(start,
+        spec, position)`` (clock skew) and every rendered tone via
+        ``tone_level_adjust_db(tone)`` — ``None`` mutes the tone
+        (speaker dropout), a float shifts its level (degradation).
+        Both render paths consult it identically, so the fast/reference
+        equivalence holds under any fault state.  Installing, clearing,
+        and every fault state change must invalidate the window memo.
+        """
+        self._fault_model = model
+        self.invalidate_render_cache()
+
     def play_tone(
         self, start_time: float, spec: ToneSpec, position: Position = Position()
     ) -> ScheduledTone:
         """Schedule a tone emission; returns the schedule record."""
+        if self._fault_model is not None:
+            start_time, spec, position = self._fault_model.transform_emission(
+                start_time, spec, position
+            )
         if start_time < 0:
             raise ValueError(f"start_time must be non-negative, got {start_time}")
         if spec.frequency >= self.sample_rate / 2:
@@ -496,6 +518,7 @@ class AcousticChannel:
 
         taps = ((0.0, 0.0),) + self.echo_taps
         entries = self._index_entries
+        fault = self._fault_model
         # One entry per audible (tone, tap) segment:
         # (sequence, tap_index, lo, offset, length, coeff, amplitude, envelope)
         segments: list[
@@ -503,6 +526,12 @@ class AcousticChannel:
         ] = []
         for candidate in candidates:
             sequence, tone = entries[first + candidate]
+            if fault is not None:
+                fault_adjust = fault.tone_level_adjust_db(tone)
+                if fault_adjust is None:
+                    continue
+            else:
+                fault_adjust = 0.0
             _distance, delay, loss_db = self._geometry_for(
                 listener, tone.position
             )
@@ -530,6 +559,8 @@ class AcousticChannel:
                         tone_len, self.sample_rate, signalling_ramp(spec.duration)
                     )
                 level = spec.level_db - loss_db - extra_loss
+                if fault_adjust:
+                    level += fault_adjust
                 amplitude = db_to_amplitude(level) * math.sqrt(2.0)
                 coeff = 2.0 * math.pi * spec.frequency
                 segments.append(
@@ -614,6 +645,12 @@ class AcousticChannel:
     ) -> None:
         """Add one (possibly partial) tone (or one of its echoes) into
         a capture buffer."""
+        if self._fault_model is not None:
+            fault_adjust = self._fault_model.tone_level_adjust_db(tone)
+            if fault_adjust is None:
+                return
+        else:
+            fault_adjust = 0.0
         distance = listener.distance_to(tone.position)
         delay = distance / SPEED_OF_SOUND if self.enable_propagation_delay else 0.0
         arrival = tone.start_time + (delay + extra_delay)
@@ -624,6 +661,8 @@ class AcousticChannel:
             return
 
         level = tone.spec.level_db - propagation_loss_db(distance) - extra_loss_db
+        if fault_adjust:
+            level += fault_adjust
         # Synthesize only the overlapping span, phase-continuous with
         # the tone's own clock so windows seam together exactly.
         overlap_start = max(arrival, window_start)

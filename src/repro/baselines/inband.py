@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 from ..net.host import Host
 from ..net.packet import FlowKey, Packet, Protocol
-from ..net.sim import Simulator
+from ..net.sim import PeriodicTimer, Simulator
 from ..net.stats import TimeSeries
 
 #: Destination port conventionally used by the management heartbeats.
@@ -41,7 +41,17 @@ class HeartbeatSender:
         self.flow = FlowKey(host.ip, dst_ip, 6652, MANAGEMENT_PORT, Protocol.UDP)
         self.sequence = 0
         self.sent_log: list[tuple[int, float]] = []
-        self._timer = host.sim.every(period, self._beat, start=host.sim.now)
+        self._timer: "PeriodicTimer | None" = None
+        self.start()
+
+    def start(self) -> None:
+        """(Re)start the beat timer; idempotent while running.  Lets a
+        failover layer pause in-band heartbeats when the acoustic
+        channel is healthy and resume them when it degrades."""
+        if self._timer is None:
+            self._timer = self.host.sim.every(
+                self.period, self._beat, start=self.host.sim.now
+            )
 
     def _beat(self) -> None:
         self.sequence += 1
@@ -56,7 +66,9 @@ class HeartbeatSender:
         self.host.send_packet(packet)
 
     def stop(self) -> None:
-        self._timer.stop()
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
 
 
 @dataclass

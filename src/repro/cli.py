@@ -178,6 +178,44 @@ def run_xext(args: argparse.Namespace) -> None:
     ])
 
 
+def run_xext12(args: argparse.Namespace) -> None:
+    result = experiments.resilience_experiment(
+        smoke=getattr(args, "smoke", False)
+    )
+    _print_table("XEXT12a: MP frame loss — ARQ vs fire-and-forget", [
+        (f"loss {point.loss_rate:.0%}",
+         f"bare {point.no_arq_delivery:.1%}  "
+         f"arq {point.arq_delivery:.1%}  "
+         f"({point.retransmits} rtx, {point.expired} expired, "
+         f"ack p̄ {point.mean_ack_latency_ms:.1f} ms)")
+        for point in result.arq
+    ])
+    episode = result.failover
+    latency = (f"{episode.failover_latency:.2f} s"
+               if episode.failover_latency is not None else "never")
+    failback = (f"{episode.failback_at:.2f} s"
+                if episode.failback_at is not None else "never")
+    _print_table("XEXT12b: speaker-death failover episode", [
+        ("speaker outage", f"{episode.fault_start:.1f}–"
+         f"{episode.fault_end:.1f} s"),
+        ("first missed beat", f"{episode.first_missed_beat:.2f} s"),
+        ("failover latency", f"{latency} "
+         f"(budget {2 * episode.period:.2f} s)"),
+        ("in-band coverage", f"{episode.inband_delivered} beats "
+         f"at {episode.inband_delivery_rate:.0%}"),
+        ("failback to acoustic", failback),
+        ("final health", episode.final_state.name),
+    ])
+    _print_table("XEXT12c: dropout duty cycle vs coverage", [
+        (f"fault rate {point.fault_rate:.0%}",
+         f"acoustic {point.detection_accuracy:.1%}  "
+         f"covered {point.covered_fraction:.1%}  "
+         f"({point.failovers} failovers, "
+         f"{point.inband_delivered} in-band beats)")
+        for point in result.resilience
+    ])
+
+
 def run_obs(args: argparse.Namespace) -> None:
     """Run one experiment under ``repro.obs`` and print/export metrics."""
     from pathlib import Path
@@ -225,6 +263,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
     "fig7": ("fan failure detection", run_fig7),
     "xbase": ("baseline comparisons", run_xbase),
     "xext": ("extensions (relay, DDoS, ultrasound, modem)", run_xext),
+    "xext12": ("resilience (fault injection, ARQ, failover)", run_xext12),
 }
 
 
@@ -325,6 +364,8 @@ def build_parser() -> argparse.ArgumentParser:
                             help="switch count for fig2a")
     run_parser.add_argument("--samples", type=int, default=1000,
                             help="sample count for fig2b")
+    run_parser.add_argument("--smoke", action="store_true",
+                            help="shrink sweeps for CI (xext12)")
 
     render_parser = subparsers.add_parser(
         "render", help="write experiment audio to a WAV file"
@@ -349,6 +390,8 @@ def build_parser() -> argparse.ArgumentParser:
                             help="switch count for fig2a")
     obs_parser.add_argument("--samples", type=int, default=1000,
                             help="sample count for fig2b")
+    obs_parser.add_argument("--smoke", action="store_true",
+                            help="shrink sweeps for CI (xext12)")
     return parser
 
 

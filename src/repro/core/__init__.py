@@ -2,8 +2,20 @@
 controller, state machines and the six paper applications."""
 
 from .agent import MusicAgent
+from .arq import (
+    AckToneResponder,
+    ArqConfig,
+    ArqStats,
+    MpArqSender,
+    ToneArqSender,
+)
 from .array import ArrayDetection, MicrophoneArray
 from .controller import MDNController
+from .health import (
+    ChannelHealth,
+    ChannelHealthMonitor,
+    HealthTransition,
+)
 from .frequency_plan import (
     DEFAULT_BAND,
     DEFAULT_GUARD_HZ,
@@ -29,14 +41,22 @@ from .localize import (
     tone_onset_time,
 )
 from .messaging import AcousticMessageService, ReceivedFrame
-from .pi import MP_PORT, PiBridge, RaspberryPi
+from .pi import MP_ACK_PORT, MP_PORT, PiBridge, RaspberryPi
 from .relay import ToneRelay, build_relay_chain
 from .telemetry import IntervalCounts, ToneCounter
 
 __all__ = [
+    "AckToneResponder",
     "AcousticMessageService",
     "Allocation",
+    "ArqConfig",
+    "ArqStats",
     "ArrayDetection",
+    "ChannelHealth",
+    "ChannelHealthMonitor",
+    "HealthTransition",
+    "MpArqSender",
+    "ToneArqSender",
     "DEFAULT_BAND",
     "DEFAULT_GUARD_HZ",
     "FSMError",
@@ -48,6 +68,7 @@ __all__ = [
     "MAX_FREQUENCY_HZ",
     "MAX_INTENSITY_DB",
     "MDNController",
+    "MP_ACK_PORT",
     "MP_PORT",
     "MicrophoneArray",
     "MusicAgent",

@@ -1,6 +1,7 @@
 """The six Music-Defined Networking applications from the paper."""
 
 from .discovery import BOOT_TUNE, BootAnnouncer, BootAnnouncement, DiscoveryApp
+from .failover import FailoverEvent, FailoverManager, InbandFallback
 from .fan_watchdog import (
     FanAlert,
     FanWatchdog,
@@ -60,8 +61,11 @@ __all__ = [
     "CHIRP_PERIOD",
     "DiscoveryApp",
     "FIG5_BAND_FREQUENCIES",
+    "FailoverEvent",
+    "FailoverManager",
     "FanAlert",
     "FanWatchdog",
+    "InbandFallback",
     "FlowToneMapper",
     "HeavyHitterAlert",
     "HeavyHitterDetectorApp",

@@ -118,29 +118,46 @@ class LivenessMonitorApp:
         self.last_heard: dict[str, float] = {}
         self.down: dict[str, LivenessAlert] = {}
         self.alerts: list[LivenessAlert] = []
+        # The chirper emits on a PeriodicTimer's absolute grid, so the
+        # monitor anchors its deadline to that grid too: the first
+        # heard beat fixes the origin, and every later beat snaps to
+        # the nearest slot.  Detection jitter (a beat surfacing a
+        # window late) must not slide the miss deadline.
+        self._origin: dict[str, float] = {}
+        self._last_slot: dict[str, int] = {}
         controller.watch(list(devices.values()), on_onset=self._on_beat)
         controller.on_window(self._on_window)
 
     def _on_beat(self, event) -> None:
         device = self._frequency_to_device[event.frequency]
         self.last_heard[device] = event.time
+        origin = self._origin.get(device)
+        if origin is None:
+            self._origin[device] = event.time
+            self._last_slot[device] = 0
+        else:
+            slot = round((event.time - origin) / self.period)
+            if slot > self._last_slot[device]:
+                self._last_slot[device] = slot
         if device in self.down:
             # Device came back: clear the down state (the alert stays
             # in the history).
             del self.down[device]
+
+    def _reference(self, device: str) -> float:
+        """Grid-snapped time of the last beat credited to ``device``
+        (grace window before the first beat is ever heard)."""
+        origin = self._origin.get(device)
+        if origin is None:
+            return -self.period / 2
+        return origin + self._last_slot[device] * self.period
 
     def _on_window(self, events, time: float) -> None:
         deadline = self.period * self.miss_threshold + self.period / 2
         for device in sorted(self.devices):
             if device in self.down:
                 continue
-            heard = self.last_heard.get(device)
-            if heard is None:
-                # Grace period from monitor start.
-                heard = -self.period / 2
-                reference = heard
-            else:
-                reference = heard
+            reference = self._reference(device)
             silence = time - reference
             if silence > deadline:
                 missed = int(silence / self.period)

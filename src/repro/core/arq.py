@@ -1,0 +1,305 @@
+"""ARQ for the Music Protocol: repetition + acknowledgement + deadline.
+
+ChirpCast-style acoustic links (arXiv:1508.07099) only become reliable
+with acknowledgement and redundancy; the same holds for MDN's two lossy
+hops.  This module adds a stop-and-wait-per-frame ARQ mode to both:
+
+* :class:`MpArqSender` — the **wire** hop (switch → Pi).  Each MP
+  message is framed with a 16-bit sequence number
+  (``b"MD" + seq + wire``); the Pi acknowledges a cleanly-unmarshalled
+  frame with ``b"MA" + seq`` on :data:`~repro.core.pi.MP_ACK_PORT`.
+  Unacknowledged frames are retransmitted with exponential backoff
+  until a per-frame delivery deadline expires.  The legacy bare
+  12-byte path is untouched — ARQ is opt-in per sender.
+* :class:`ToneArqSender` / :class:`AckToneResponder` — the **air** hop,
+  literal tone repetition + ACK-tone: the sender plays its data tone,
+  listens for the controller's ACK tone, and replays with backoff
+  until acknowledged or the deadline passes.
+
+Both senders share :class:`ArqConfig`; all timing is simulation time,
+so every retransmission schedule is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import obs
+from ..audio.detector import FrequencyDetector
+from ..audio.devices import Microphone
+from ..net.packet import Packet
+from ..net.sim import Simulator
+from .agent import MusicAgent
+from .pi import ARQ_ACK_MAGIC, ARQ_ACK_SIZE, ARQ_DATA_MAGIC, MP_ACK_PORT, PiBridge
+from .protocol import MusicProtocolMessage
+
+
+@dataclass(frozen=True)
+class ArqConfig:
+    """Retransmission policy shared by the wire and air ARQ modes.
+
+    The first retransmission waits ``initial_timeout``; each subsequent
+    wait doubles (``backoff``) up to ``max_timeout``.  A frame still
+    unacknowledged at ``deadline`` after first transmission is dropped
+    and counted as expired — management traffic goes stale, it must
+    not queue forever.
+    """
+
+    initial_timeout: float = 0.05
+    backoff: float = 2.0
+    max_timeout: float = 0.5
+    deadline: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.initial_timeout <= 0:
+            raise ValueError("initial_timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_timeout < self.initial_timeout:
+            raise ValueError("max_timeout must be >= initial_timeout")
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+
+
+@dataclass
+class _PendingFrame:
+    """Book-keeping for one in-flight ARQ frame."""
+
+    wire: bytes
+    first_sent: float
+    deadline: float
+    timeout: float
+    attempts: int = 0
+
+
+@dataclass
+class ArqStats:
+    """Delivery summary for one sender."""
+
+    sent: int
+    acked: int
+    retransmits: int
+    expired: int
+    delivery_rate: float
+    mean_latency: float
+
+
+class MpArqSender:
+    """Reliable MP delivery over a :class:`~repro.core.pi.PiBridge`.
+
+    Intercepts ACK frames with a switch receive hook (the Pi port is
+    outside the flow table, so the hook is the only consumer); pending
+    frames retransmit on a per-frame timer with exponential backoff
+    until acknowledged or past the deadline.
+    """
+
+    def __init__(self, bridge: PiBridge,
+                 config: ArqConfig | None = None) -> None:
+        self.sim = bridge.sim
+        self.bridge = bridge
+        self.config = config or ArqConfig()
+        self._pending: dict[int, _PendingFrame] = {}
+        self._next_sequence = 0
+        self.acked_log: list[tuple[int, float]] = []   # (seq, latency)
+        self.expired_log: list[int] = []
+        self._m_sent = obs.counter("arq.mp_frames_sent")
+        self._m_retransmits = obs.counter("arq.mp_retransmits")
+        self._m_acked = obs.counter("arq.mp_frames_acked")
+        self._m_expired = obs.counter("arq.mp_frames_expired")
+        bridge.switch.on_receive(self._on_switch_packet)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, message: MusicProtocolMessage) -> int:
+        """Frame, transmit, and track one MP message; returns its
+        sequence number."""
+        sequence = self._next_sequence
+        self._next_sequence = (self._next_sequence + 1) % 65_536
+        wire = (ARQ_DATA_MAGIC + sequence.to_bytes(2, "big")
+                + message.marshal())
+        now = self.sim.now
+        self._pending[sequence] = _PendingFrame(
+            wire=wire,
+            first_sent=now,
+            deadline=now + self.config.deadline,
+            timeout=self.config.initial_timeout,
+        )
+        self._m_sent.inc()
+        self._transmit(sequence)
+        return sequence
+
+    def _transmit(self, sequence: int) -> None:
+        frame = self._pending.get(sequence)
+        if frame is None:
+            return
+        frame.attempts += 1
+        if frame.attempts > 1:
+            self._m_retransmits.inc()
+        packet = Packet(
+            self.bridge._flow,
+            size_bytes=len(frame.wire) + 42,
+            created_at=self.sim.now,
+            is_management=True,
+            payload=frame.wire,
+        )
+        self.bridge.mp_sent.increment()
+        self.bridge.switch.transmit(packet, self.bridge.pi_port)
+        retry_at = self.sim.now + frame.timeout
+        frame.timeout = min(frame.timeout * self.config.backoff,
+                            self.config.max_timeout)
+        if retry_at < frame.deadline:
+            self.sim.schedule_at(retry_at, self._transmit, sequence)
+        else:
+            self.sim.schedule_at(frame.deadline, self._expire, sequence)
+
+    def _expire(self, sequence: int) -> None:
+        frame = self._pending.pop(sequence, None)
+        if frame is not None:
+            self._m_expired.inc()
+            self.expired_log.append(sequence)
+
+    # ------------------------------------------------------------------
+    # ACK path
+    # ------------------------------------------------------------------
+
+    def _on_switch_packet(self, packet: Packet, in_port: int) -> None:
+        if (in_port != self.bridge.pi_port
+                or packet.flow.dst_port != MP_ACK_PORT):
+            return
+        payload = packet.payload
+        if len(payload) != ARQ_ACK_SIZE or payload[:2] != ARQ_ACK_MAGIC:
+            return
+        sequence = int.from_bytes(payload[2:4], "big")
+        frame = self._pending.pop(sequence, None)
+        if frame is None:
+            return  # duplicate ACK of a retransmitted frame
+        self._m_acked.inc()
+        self.acked_log.append((sequence, self.sim.now - frame.first_sent))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    def stats(self) -> ArqStats:
+        sent = self._m_sent.value
+        acked = self._m_acked.value
+        latencies = [latency for _seq, latency in self.acked_log]
+        return ArqStats(
+            sent=sent,
+            acked=acked,
+            retransmits=self._m_retransmits.value,
+            expired=self._m_expired.value,
+            delivery_rate=acked / sent if sent else 0.0,
+            mean_latency=(sum(latencies) / len(latencies)
+                          if latencies else float("nan")),
+        )
+
+
+class AckToneResponder:
+    """Controller-side half of the acoustic ARQ: answer every data-tone
+    onset with an ACK tone from the controller's own speaker.
+
+    ``ack_map`` maps each watched data frequency to the ACK frequency
+    the responder answers it with.  Must be constructed before
+    ``controller.start()`` (it subscribes via ``watch``).
+    """
+
+    def __init__(self, controller, agent: MusicAgent,
+                 ack_map: dict[float, float],
+                 tone_duration: float = 0.05,
+                 tone_level_db: float = 72.0) -> None:
+        if not ack_map:
+            raise ValueError("ack_map must not be empty")
+        self.agent = agent
+        self.ack_map = {float(freq): ack for freq, ack in ack_map.items()}
+        self.tone_duration = tone_duration
+        self.tone_level_db = tone_level_db
+        self.acks_played = 0
+        controller.watch(list(self.ack_map), on_onset=self._on_onset)
+
+    def _on_onset(self, event) -> None:
+        ack_frequency = self.ack_map[event.frequency]
+        if self.agent.play(ack_frequency, self.tone_duration,
+                           self.tone_level_db):
+            self.acks_played += 1
+
+
+class ToneArqSender:
+    """Device-side half of the acoustic ARQ: tone repetition until the
+    ACK tone is heard.
+
+    Plays the data tone, then records its own microphone over an ACK
+    listening window; if the ACK frequency is absent, replays the data
+    tone after an exponentially backed-off wait, until acknowledged or
+    past the config deadline.
+    """
+
+    def __init__(self, sim: Simulator, channel, agent: MusicAgent,
+                 microphone: Microphone, data_frequency: float,
+                 ack_frequency: float, config: ArqConfig | None = None,
+                 tone_duration: float = 0.08, ack_window: float = 0.45,
+                 tone_level_db: float = 70.0) -> None:
+        self.sim = sim
+        self.channel = channel
+        self.agent = agent
+        self.microphone = microphone
+        self.data_frequency = data_frequency
+        self.ack_frequency = ack_frequency
+        self.config = config or ArqConfig()
+        self.tone_duration = tone_duration
+        self.ack_window = ack_window
+        self.tone_level_db = tone_level_db
+        self.attempts = 0
+        self.delivered = False
+        self.expired = False
+        self.delivered_at: float | None = None
+        self._deadline = 0.0
+        self._timeout = self.config.initial_timeout
+        self._detector = FrequencyDetector([ack_frequency])
+        self._m_attempts = obs.counter("arq.tone_attempts")
+        self._m_delivered = obs.counter("arq.tone_delivered")
+        self._m_expired = obs.counter("arq.tone_expired")
+
+    def send(self) -> None:
+        """Start one reliable delivery (restartable after completion)."""
+        self.attempts = 0
+        self.delivered = False
+        self.expired = False
+        self.delivered_at = None
+        self._deadline = self.sim.now + self.config.deadline
+        self._timeout = self.config.initial_timeout
+        self._attempt()
+
+    def _attempt(self) -> None:
+        if self.delivered or self.expired:
+            return
+        self.attempts += 1
+        self._m_attempts.inc()
+        self.agent.play(self.data_frequency, self.tone_duration,
+                        self.tone_level_db)
+        listen_start = self.sim.now + self.tone_duration
+        self.sim.schedule_at(listen_start + self.ack_window,
+                             self._check_ack, listen_start)
+
+    def _check_ack(self, listen_start: float) -> None:
+        capture = self.microphone.record(self.channel, listen_start,
+                                         self.sim.now)
+        if self._detector.detect(capture, listen_start):
+            self.delivered = True
+            self.delivered_at = self.sim.now
+            self._m_delivered.inc()
+            return
+        retry_at = self.sim.now + self._timeout
+        self._timeout = min(self._timeout * self.config.backoff,
+                            self.config.max_timeout)
+        if retry_at + self.tone_duration + self.ack_window <= self._deadline:
+            self.sim.schedule_at(retry_at, self._attempt)
+        else:
+            self.expired = True
+            self._m_expired.inc()

@@ -97,6 +97,11 @@ class MDNController(ControllerBase):
         self._detector: FrequencyDetector | None = None
         self._timer: PeriodicTimer | None = None
         self._previous_window: set[float] = set()
+        #: Failover history, appended by the graceful-degradation layer
+        #: (:class:`repro.core.apps.failover.FailoverManager`): each
+        #: entry records this controller handing a device to the
+        #: in-band baseline or taking it back.
+        self.failover_events: list = []
         # API-compatible counters, registry-backed (repro.obs): visible
         # in metric reports when observability is enabled, free-floating
         # ints-with-a-name otherwise.

@@ -1,0 +1,255 @@
+"""Per-emitter acoustic channel health: HEALTHY / DEGRADED / DEAD.
+
+Self-Healing Audio System (arXiv:1511.08587) argues acoustic
+deployments need automated failure detection; MDN's version is passive:
+the controller already hears every emitter's periodic chirp, so channel
+health falls out of the detection stream it produces.  For each
+monitored emitter the monitor tracks
+
+* **chirp liveness** — time since the last heard beat, measured
+  against the emitter's inferred beat grid (``origin + n·period``), so
+  a late first beat cannot stretch later deadlines;
+* **miss rate** — the fraction of recent grid slots with no detection;
+* **SNR proxy** — the mean detected level margin above the detector's
+  floor (``min_level_db``), the closest observable to SNR the
+  detection stream carries.
+
+Classification: ``DEAD`` after ``dead_misses`` consecutive missed
+beats; ``DEGRADED`` when the miss rate or SNR margin crosses its
+threshold; ``HEALTHY`` otherwise.  Transitions are dispatched to
+subscribers (the failover layer) and counted through :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .. import obs
+from .controller import MDNController
+
+
+class ChannelHealth(enum.Enum):
+    """Health verdict for one emitter's acoustic path."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class HealthTransition:
+    """One emitter changing state."""
+
+    emitter: str
+    time: float
+    previous: ChannelHealth
+    state: ChannelHealth
+    miss_rate: float
+    snr_margin_db: float
+
+
+@dataclass
+class _EmitterTrack:
+    """Per-emitter detection bookkeeping."""
+
+    origin: float | None = None      #: inferred beat-grid anchor
+    last_slot: int = -1              #: newest grid slot with a beat
+    last_heard: float | None = None  #: raw time of the newest beat
+    heard_slots: set[int] = field(default_factory=set)
+    levels: deque = field(default_factory=lambda: deque(maxlen=16))
+    state: ChannelHealth = ChannelHealth.HEALTHY
+
+
+TransitionCallback = Callable[[HealthTransition], None]
+
+
+class ChannelHealthMonitor:
+    """Classifies each emitter's channel from the controller's stream.
+
+    Parameters
+    ----------
+    controller:
+        The listening controller; the monitor subscribes to the
+        emitters' frequencies and to every processed window.  Must be
+        constructed before ``controller.start()``.
+    emitters:
+        ``{emitter_name: chirp_frequency}``.
+    period:
+        The agreed chirp period (the emitters' heartbeat grid).
+    window_beats:
+        How many recent grid slots the miss rate is computed over.
+    degraded_miss_rate:
+        Miss-rate threshold (fraction, over ``window_beats``) at or
+        above which a living emitter is DEGRADED.
+    dead_misses:
+        Consecutive missed beats before DEAD.
+    min_snr_margin_db:
+        Mean level margin above the detector floor below which the
+        emitter is DEGRADED (weak speaker, rising noise).
+    liveness_slack:
+        Added to the DEAD deadline on top of ``dead_misses`` periods;
+        defaults to one listening interval (detection granularity).
+    """
+
+    def __init__(
+        self,
+        controller: MDNController,
+        emitters: dict[str, float],
+        period: float,
+        window_beats: int = 10,
+        degraded_miss_rate: float = 0.34,
+        dead_misses: int = 2,
+        min_snr_margin_db: float = 3.0,
+        liveness_slack: float | None = None,
+    ) -> None:
+        if not emitters:
+            raise ValueError("need at least one emitter")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if dead_misses < 1:
+            raise ValueError("dead_misses must be >= 1")
+        if not 0.0 < degraded_miss_rate <= 1.0:
+            raise ValueError("degraded_miss_rate must be in (0, 1]")
+        self.controller = controller
+        self.emitters = dict(emitters)
+        self.period = period
+        self.window_beats = window_beats
+        self.degraded_miss_rate = degraded_miss_rate
+        self.dead_misses = dead_misses
+        self.min_snr_margin_db = min_snr_margin_db
+        self.liveness_slack = (
+            controller.listen_interval if liveness_slack is None
+            else liveness_slack
+        )
+        self._frequency_to_emitter = {
+            float(frequency): name for name, frequency in emitters.items()
+        }
+        if len(self._frequency_to_emitter) != len(emitters):
+            raise ValueError("emitter frequencies must be unique")
+        self._tracks = {name: _EmitterTrack() for name in emitters}
+        self._start_time = controller.sim.now
+        self._subscribers: list[TransitionCallback] = []
+        self.transitions: list[HealthTransition] = []
+        self._m_transitions = obs.counter("health.transitions")
+        self._m_dead = obs.counter("health.dead_declared")
+        self._m_degraded = obs.counter("health.degraded_declared")
+        controller.watch(list(emitters.values()),
+                         on_detection=self._on_detection)
+        controller.on_window(self._on_window)
+
+    # ------------------------------------------------------------------
+    # Subscription / queries
+    # ------------------------------------------------------------------
+
+    def on_transition(self, callback: TransitionCallback) -> None:
+        """Call ``callback(transition)`` on every state change."""
+        self._subscribers.append(callback)
+
+    def state_of(self, emitter: str) -> ChannelHealth:
+        return self._tracks[emitter].state
+
+    def states(self) -> dict[str, ChannelHealth]:
+        return {name: track.state for name, track in self._tracks.items()}
+
+    def miss_rate(self, emitter: str, now: float | None = None) -> float:
+        """Missed-slot fraction over the recent ``window_beats`` grid
+        slots (0.0 until the emitter's grid is established)."""
+        if now is None:
+            now = self.controller.sim.now
+        return self._miss_rate_for(self._tracks[emitter], now)
+
+    def snr_margin_db(self, emitter: str) -> float:
+        """Mean recent detection level above the detector floor."""
+        track = self._tracks[emitter]
+        if not track.levels:
+            return 0.0
+        mean_level = sum(track.levels) / len(track.levels)
+        return mean_level - self.controller.min_level_db
+
+    # ------------------------------------------------------------------
+    # Detection stream
+    # ------------------------------------------------------------------
+
+    def _on_detection(self, event) -> None:
+        emitter = self._frequency_to_emitter[event.frequency]
+        track = self._tracks[emitter]
+        if track.origin is None:
+            track.origin = event.time
+            slot = 0
+        else:
+            slot = round((event.time - track.origin) / self.period)
+        track.heard_slots.add(slot)
+        track.last_slot = max(track.last_slot, slot)
+        track.last_heard = event.time
+        track.levels.append(event.level_db)
+        if len(track.heard_slots) > 4 * self.window_beats:
+            horizon = track.last_slot - 2 * self.window_beats
+            track.heard_slots = {
+                kept for kept in track.heard_slots if kept >= horizon
+            }
+
+    def _on_window(self, events, time: float) -> None:
+        for emitter in sorted(self.emitters):
+            track = self._tracks[emitter]
+            verdict, miss_rate, margin = self._classify(track, time)
+            if verdict is not track.state:
+                transition = HealthTransition(
+                    emitter=emitter,
+                    time=self.controller.sim.now,
+                    previous=track.state,
+                    state=verdict,
+                    miss_rate=miss_rate,
+                    snr_margin_db=margin,
+                )
+                track.state = verdict
+                self.transitions.append(transition)
+                self._m_transitions.inc()
+                if verdict is ChannelHealth.DEAD:
+                    self._m_dead.inc()
+                elif verdict is ChannelHealth.DEGRADED:
+                    self._m_degraded.inc()
+                for callback in self._subscribers:
+                    callback(transition)
+
+    def _classify(
+        self, track: _EmitterTrack, time: float
+    ) -> tuple[ChannelHealth, float, float]:
+        dead_after = self.dead_misses * self.period + self.liveness_slack
+        if track.origin is None:
+            # Never heard: grace of one full dead deadline from start.
+            silence = time - self._start_time
+            if silence > dead_after + self.period:
+                return ChannelHealth.DEAD, 1.0, 0.0
+            return ChannelHealth.HEALTHY, 0.0, 0.0
+        # Liveness against the inferred grid, not the raw arrival: the
+        # reference beat is the newest *slot* time, so a beat detected
+        # late in a window cannot push the DEAD deadline out.
+        reference = track.origin + track.last_slot * self.period
+        silence = time - reference
+        miss_rate = self._miss_rate_for(track, time)
+        margin = (
+            (sum(track.levels) / len(track.levels)
+             - self.controller.min_level_db)
+            if track.levels else 0.0
+        )
+        if silence > dead_after:
+            return ChannelHealth.DEAD, miss_rate, margin
+        if miss_rate >= self.degraded_miss_rate:
+            return ChannelHealth.DEGRADED, miss_rate, margin
+        if track.levels and margin < self.min_snr_margin_db:
+            return ChannelHealth.DEGRADED, miss_rate, margin
+        return ChannelHealth.HEALTHY, miss_rate, margin
+
+    def _miss_rate_for(self, track: _EmitterTrack, now: float) -> float:
+        if track.origin is None:
+            return 0.0
+        current_slot = int((now - track.origin) / self.period)
+        first_slot = max(0, current_slot - self.window_beats)
+        slots = range(first_slot, current_slot)
+        if not len(slots):
+            return 0.0
+        missed = sum(1 for slot in slots if slot not in track.heard_slots)
+        return missed / len(slots)

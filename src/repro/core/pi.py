@@ -32,6 +32,23 @@ from .protocol import MusicProtocolError, MusicProtocolMessage
 #: UDP port the Pi listens on for MP messages.
 MP_PORT = 5005
 
+#: UDP port ARQ acknowledgements travel back on (Pi → switch).
+MP_ACK_PORT = 5006
+
+#: Destination address on ACK frames.  The ACK is consumed at the
+#: switch by the ARQ sender's receive hook (the Pi port is outside the
+#: flow table), so it needs no routable address.
+MP_ACK_ADDRESS = "0.0.0.0"
+
+#: ARQ framing on the Pi link: a DATA frame is ``b"MD" + seq(2, BE) +``
+#: the 12-byte MP wire message; an ACK frame is ``b"MA" + seq(2, BE)``.
+#: Bare 12-byte MP frames (the legacy fire-and-forget path) are still
+#: accepted and never acknowledged.
+ARQ_DATA_MAGIC = b"MD"
+ARQ_ACK_MAGIC = b"MA"
+ARQ_DATA_SIZE = 4 + 12
+ARQ_ACK_SIZE = 4
+
 #: The Pi link's rate: the Zodiac FX management port is 100 Mb/s but
 #: the paper's LwIP raw-API path is nowhere near line rate; 10 Mb/s is
 #: generous and keeps MP delivery sub-millisecond either way.
@@ -39,22 +56,54 @@ PI_LINK_BANDWIDTH = 10_000_000.0
 
 
 class RaspberryPi(Host):
-    """A Pi host that unmarshals MP packets and plays their tones."""
+    """A Pi host that unmarshals MP packets and plays their tones.
+
+    Besides the legacy 12-byte fire-and-forget path, the Pi is the
+    responder half of the MP ARQ mode: a framed DATA packet that
+    unmarshals cleanly is acknowledged back to the switch with its
+    sequence number, so the sender can stop retransmitting.  The Pi can
+    also :meth:`crash` (power loss, kernel panic): while down it drops
+    every MP frame — and therefore acknowledges nothing — until
+    :meth:`restart`.
+    """
 
     def __init__(self, sim: Simulator, name: str, ip: str,
                  agent: MusicAgent) -> None:
         super().__init__(sim, name, ip)
         self.agent = agent
+        self.crashed = False
         self.mp_played = Counter(f"{name}.mp_played")
         self.mp_rejected = Counter(f"{name}.mp_rejected")
+        self.mp_dropped_crashed = Counter(f"{name}.mp_dropped_crashed")
+        self.acks_sent = Counter(f"{name}.acks_sent")
+        #: Distinct ARQ sequence numbers played at least once (the
+        #: deduplicated delivery set retransmissions are judged by).
+        self.mp_seen_seqs: set[int] = set()
         self.on_delivery(self._on_packet)
+
+    def crash(self) -> None:
+        """Take the Pi down: every MP frame is dropped until restart."""
+        self.crashed = True
+
+    def restart(self) -> None:
+        self.crashed = False
 
     def _on_packet(self, packet: Packet) -> None:
         if packet.flow.dst_port != MP_PORT:
             return
+        if self.crashed:
+            self.mp_dropped_crashed.increment()
+            return
+        wire = packet.payload
+        sequence: int | None = None
+        if len(wire) == ARQ_DATA_SIZE and wire[:2] == ARQ_DATA_MAGIC:
+            sequence = int.from_bytes(wire[2:4], "big")
+            wire = wire[4:]
         try:
-            message = MusicProtocolMessage.unmarshal(packet.payload)
+            message = MusicProtocolMessage.unmarshal(wire)
         except MusicProtocolError:
+            # Truncated or bit-flipped on the link; an ARQ frame earns
+            # no ACK, so the sender retransmits.
             self.mp_rejected.increment()
             return
         try:
@@ -64,6 +113,22 @@ class RaspberryPi(Host):
             self.mp_rejected.increment()
             return
         self.mp_played.increment()
+        if sequence is not None:
+            self.mp_seen_seqs.add(sequence)
+            self._send_ack(sequence)
+
+    def _send_ack(self, sequence: int) -> None:
+        flow = FlowKey(self.ip, MP_ACK_ADDRESS, MP_ACK_PORT, MP_ACK_PORT,
+                       Protocol.UDP)
+        ack = Packet(
+            flow,
+            size_bytes=ARQ_ACK_SIZE + 42,
+            created_at=self.sim.now,
+            is_management=True,
+            payload=ARQ_ACK_MAGIC + sequence.to_bytes(2, "big"),
+        )
+        self.acks_sent.increment()
+        self.send_packet(ack)
 
 
 class PiBridge:
@@ -100,8 +165,8 @@ class PiBridge:
         self.pi_port = pi_port
         pi_ip = f"192.168.99.{(hash(switch.name) % 200) + 1}"
         self.pi = RaspberryPi(sim, f"{switch.name}-pi", pi_ip, agent)
-        Link(sim, switch, pi_port, self.pi, Host.NIC_PORT,
-             bandwidth_bps=bandwidth_bps, delay=0.000_05)
+        self.link = Link(sim, switch, pi_port, self.pi, Host.NIC_PORT,
+                         bandwidth_bps=bandwidth_bps, delay=0.000_05)
         self.mp_sent = Counter(f"{switch.name}.mp_sent")
         self._flow = FlowKey(
             "0.0.0.0", pi_ip, MP_PORT, MP_PORT, Protocol.UDP

@@ -95,7 +95,18 @@ class MusicProtocolMessage:
     @classmethod
     def unmarshal(cls, wire: bytes) -> "MusicProtocolMessage":
         """Decode a 12-byte MP message, validating magic, version and
-        checksum."""
+        checksum.
+
+        Any malformed input — wrong type, truncation, padding, flipped
+        bits, stale versions — raises :class:`MusicProtocolError`; a
+        receiver parsing untrusted frames never sees a bare
+        ``struct.error`` or ``ValueError``.
+        """
+        if not isinstance(wire, (bytes, bytearray, memoryview)):
+            raise MusicProtocolError(
+                f"MP message must be bytes, got {type(wire).__name__}"
+            )
+        wire = bytes(wire)
         if len(wire) != WIRE_SIZE:
             raise MusicProtocolError(
                 f"MP message must be {WIRE_SIZE} bytes, got {len(wire)}"
@@ -103,7 +114,10 @@ class MusicProtocolMessage:
         body, checksum = wire[:-1], wire[-1]
         if _xor(body) != checksum:
             raise MusicProtocolError("MP checksum mismatch")
-        magic, version, centi_hz, milli_s, centi_db = _STRUCT.unpack(body)
+        try:
+            magic, version, centi_hz, milli_s, centi_db = _STRUCT.unpack(body)
+        except struct.error as exc:  # length-checked; belt and braces
+            raise MusicProtocolError(f"undecodable MP body: {exc}") from exc
         if magic != MAGIC:
             raise MusicProtocolError(f"bad magic {magic!r}")
         if version != VERSION:
@@ -113,6 +127,9 @@ class MusicProtocolMessage:
         if milli_s == 0:
             raise MusicProtocolError("duration must be positive")
         return cls(centi_hz / 100.0, milli_s / 1000.0, centi_db / 100.0)
+
+    #: Receiver-facing alias: the Pi "decodes" frames off the wire.
+    decode = unmarshal
 
     # ------------------------------------------------------------------
     # Bridges

@@ -45,6 +45,16 @@ from .xext import (
     superspreader_experiment,
     ultrasound_experiment,
 )
+from .xext12 import (
+    ArqPoint,
+    FailoverResult,
+    ResiliencePoint,
+    Xext12Result,
+    arq_loss_sweep,
+    failover_experiment,
+    resilience_experiment,
+    resilience_sweep,
+)
 from .xcap import (
     BackendComparison,
     ConcurrencyPoint,
@@ -57,6 +67,7 @@ from .xcap import (
 )
 
 __all__ = [
+    "ArqPoint",
     "BackendComparison",
     "ConcurrencyPoint",
     "EcnVsMdnResult",
@@ -67,6 +78,7 @@ __all__ = [
     "Fig4CDResult",
     "Fig5ABResult",
     "Fig5CDResult",
+    "FailoverResult",
     "Fig6Panel",
     "Fig7Result",
     "GuardPoint",
@@ -74,15 +86,19 @@ __all__ = [
     "ModemResult",
     "MultipathPoint",
     "RelayResult",
+    "ResiliencePoint",
     "ScalePoint",
     "SketchVsMdnResult",
     "SuperspreaderResult",
     "Testbed",
     "UltrasoundResult",
+    "Xext12Result",
+    "arq_loss_sweep",
     "backend_ablation",
     "build_testbed",
     "concurrency_sweep",
     "ecn_vs_mdn",
+    "failover_experiment",
     "fan_failure_experiment",
     "fan_spectrogram_panel",
     "fft_latency_cdf",
@@ -98,6 +114,8 @@ __all__ = [
     "port_scan_experiment",
     "queue_monitor_experiment",
     "relay_experiment",
+    "resilience_experiment",
+    "resilience_sweep",
     "sketch_vs_mdn",
     "superspreader_experiment",
     "ultrasound_experiment",

@@ -95,6 +95,10 @@ class LinkDirection:
         self.queue = PacketQueue(queue_capacity, name=name)
         self.busy = False
         self.up = True
+        #: Optional delivery fault model (repro.faults): consulted per
+        #: delivered packet; may drop or corrupt it.  ``None`` keeps
+        #: delivery on the original path.
+        self.fault_model = None
         self.bytes_sent = Counter(f"{name}.bytes_sent")
         self.packets_sent = Counter(f"{name}.packets_sent")
 
@@ -138,9 +142,14 @@ class LinkDirection:
             self.busy = False
 
     def _deliver(self, packet: Packet) -> None:
-        if self.up:
-            packet.hops += 1
-            self.dst_node.receive(packet, self.dst_port)
+        if not self.up:
+            return
+        if self.fault_model is not None:
+            packet = self.fault_model.on_deliver(packet)
+            if packet is None:
+                return
+        packet.hops += 1
+        self.dst_node.receive(packet, self.dst_port)
 
 
 class Link:

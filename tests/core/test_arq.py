@@ -1,0 +1,166 @@
+"""Unit tests for the MP and acoustic ARQ modes."""
+
+import pytest
+
+from repro.audio import AcousticChannel, Microphone, Position, Speaker
+from repro.core import (
+    AckToneResponder,
+    ArqConfig,
+    MDNController,
+    MpArqSender,
+    MusicAgent,
+    MusicProtocolMessage,
+    PiBridge,
+    ToneArqSender,
+)
+from repro.faults import FaultHarness
+from repro.net.sim import Simulator
+from repro.net.switch import Switch
+
+MESSAGE = MusicProtocolMessage(1000.0, 0.05, 70.0)
+
+
+class TestArqConfig:
+    def test_defaults_valid(self):
+        ArqConfig()
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ArqConfig(initial_timeout=0.0)
+        with pytest.raises(ValueError):
+            ArqConfig(backoff=0.5)
+        with pytest.raises(ValueError):
+            ArqConfig(max_timeout=0.01, initial_timeout=0.05)
+        with pytest.raises(ValueError):
+            ArqConfig(deadline=-1.0)
+
+
+def _mp_rig(loss_rate=0.0, seed=3):
+    sim = Simulator()
+    channel = AcousticChannel()
+    agent = MusicAgent(sim, channel, Speaker(Position(1.0, 0.0, 0.0)),
+                       name="s1")
+    switch = Switch(sim, "s1")
+    bridge = PiBridge(sim, switch, agent)
+    if loss_rate:
+        FaultHarness(sim, seed=seed).mp_link(
+            switch.ports[bridge.pi_port], loss_rate=loss_rate, label="arq"
+        )
+    return sim, bridge
+
+
+class TestMpArqSender:
+    def test_clean_link_acks_first_try(self):
+        sim, bridge = _mp_rig()
+        sender = MpArqSender(bridge)
+        sender.send(MESSAGE)
+        sim.run(1.0)
+        stats = sender.stats()
+        assert stats.acked == 1
+        assert stats.retransmits == 0
+        assert sender.in_flight == 0
+        assert bridge.pi.mp_seen_seqs == {0}
+        assert bridge.pi.acks_sent.total == 1
+
+    def test_retransmits_through_loss(self):
+        sim, bridge = _mp_rig(loss_rate=0.3)
+        sender = MpArqSender(bridge)
+        for index in range(20):
+            sim.schedule_at(index * 0.3, sender.send, MESSAGE)
+        sim.run(10.0)
+        stats = sender.stats()
+        assert stats.acked == 20
+        assert stats.retransmits > 0
+        assert stats.expired == 0
+
+    def test_deadline_expires_on_dead_link(self):
+        sim, bridge = _mp_rig(loss_rate=1.0)
+        config = ArqConfig(deadline=0.5)
+        sender = MpArqSender(bridge, config)
+        sender.send(MESSAGE)
+        sim.run(2.0)
+        stats = sender.stats()
+        assert stats.expired == 1
+        assert stats.acked == 0
+        assert sender.in_flight == 0
+
+    def test_sequence_numbers_increment(self):
+        sim, bridge = _mp_rig()
+        sender = MpArqSender(bridge)
+        assert [sender.send(MESSAGE) for _ in range(3)] == [0, 1, 2]
+
+    def test_legacy_bare_path_not_acked(self):
+        """Fire-and-forget frames must not trigger ACK machinery."""
+        sim, bridge = _mp_rig()
+        bridge.send_mp(MESSAGE)
+        sim.run(1.0)
+        assert bridge.pi.mp_played.total == 1
+        assert bridge.pi.acks_sent.total == 0
+        assert bridge.pi.mp_seen_seqs == set()
+
+    def test_duplicate_delivery_counted_once(self):
+        """Retransmitted frames that both arrive play twice but count
+        as one distinct delivery."""
+        sim, bridge = _mp_rig()
+        sender = MpArqSender(bridge, ArqConfig(initial_timeout=0.0001))
+        sender.send(MESSAGE)
+        sim.run(1.0)
+        assert len(bridge.pi.mp_seen_seqs) == 1
+
+
+class TestToneArq:
+    def _rig(self):
+        sim = Simulator()
+        channel = AcousticChannel()
+        device_position = Position(1.0, 0.0, 0.0)
+        device = MusicAgent(sim, channel, Speaker(device_position), "dev")
+        device_mic = Microphone(device_position, seed=21)
+        controller = MDNController(sim, channel,
+                                   Microphone(Position(), seed=11))
+        station = MusicAgent(sim, channel,
+                             Speaker(Position(0.2, 0.0, 0.0)), "station")
+        responder = AckToneResponder(controller, station,
+                                     {1000.0: 1400.0})
+        sender = ToneArqSender(sim, channel, device, device_mic,
+                               data_frequency=1000.0,
+                               ack_frequency=1400.0)
+        return sim, channel, controller, responder, sender
+
+    def test_delivered_first_try_on_clean_air(self):
+        sim, channel, controller, responder, sender = self._rig()
+        controller.start()
+        sim.schedule_at(0.2, sender.send)
+        sim.run(3.0)
+        assert sender.delivered
+        assert sender.attempts == 1
+        assert responder.acks_played >= 1
+
+    def test_repetition_covers_speaker_dropout(self):
+        sim, channel, controller, responder, sender = self._rig()
+        air = FaultHarness(sim, seed=3).acoustic(channel)
+        air.drop_speaker(Position(1.0, 0.0, 0.0), 0.0, 1.0)
+        controller.start()
+        sim.schedule_at(0.2, sender.send)
+        sim.run(4.0)
+        assert sender.delivered
+        assert sender.attempts > 1
+        assert sender.delivered_at > 1.0
+
+    def test_expires_when_ack_path_dead(self):
+        sim, channel, controller, responder, sender = self._rig()
+        air = FaultHarness(sim, seed=3).acoustic(channel)
+        air.drop_speaker(Position(0.2, 0.0, 0.0), 0.0, 100.0)  # station
+        controller.start()
+        sim.schedule_at(0.2, sender.send)
+        sim.run(5.0)
+        assert sender.expired
+        assert not sender.delivered
+
+    def test_responder_requires_map(self):
+        sim = Simulator()
+        channel = AcousticChannel()
+        controller = MDNController(sim, channel,
+                                   Microphone(Position(), seed=11))
+        station = MusicAgent(sim, channel, Speaker(Position()))
+        with pytest.raises(ValueError):
+            AckToneResponder(controller, station, {})

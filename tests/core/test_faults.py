@@ -1,0 +1,332 @@
+"""Unit tests for the deterministic fault-injection subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.audio import AcousticChannel, Microphone, Position, Speaker
+from repro.audio.synth import ToneSpec
+from repro.core import MicrophoneArray, MusicAgent, PiBridge
+from repro.core import MusicProtocolMessage
+from repro.faults import FaultHarness, seeded_rng
+from repro.net.sim import Simulator
+from repro.net.switch import Switch
+
+TONE = ToneSpec(1000.0, 0.08, 70.0)
+SPEAKER_AT = Position(1.0, 0.0, 0.0)
+LISTENER = Position()
+
+
+def _rms(signal) -> float:
+    return float(np.sqrt(np.mean(signal.samples**2)))
+
+
+class TestSeededRng:
+    def test_deterministic_per_label(self):
+        assert (seeded_rng(7, "a").random(4) == seeded_rng(7, "a").random(4)).all()
+
+    def test_labels_independent(self):
+        assert not (
+            seeded_rng(7, "a").random(4) == seeded_rng(7, "b").random(4)
+        ).all()
+
+    def test_seeds_independent(self):
+        assert not (
+            seeded_rng(7, "a").random(4) == seeded_rng(8, "a").random(4)
+        ).all()
+
+
+class TestDisabledIsFree:
+    """With no faults scheduled the plant must be bit-identical."""
+
+    def _render(self, attach_harness: bool):
+        sim = Simulator()
+        channel = AcousticChannel()
+        channel.play_tone(0.1, TONE, SPEAKER_AT)
+        if attach_harness:
+            harness = FaultHarness(sim, seed=3)
+            harness.acoustic(channel)
+        return channel.render_at(LISTENER, 0.0, 0.3)
+
+    def test_idle_injector_is_bit_identical(self):
+        baseline = self._render(attach_harness=False)
+        with_model = self._render(attach_harness=True)
+        assert (baseline.samples == with_model.samples).all()
+
+    def test_mic_without_faults_is_bit_identical(self):
+        channel = AcousticChannel()
+        channel.play_tone(0.1, TONE, SPEAKER_AT)
+        baseline = Microphone(LISTENER, seed=5).record(channel, 0.0, 0.3)
+        mic = Microphone(LISTENER, seed=5)
+        FaultHarness(Simulator(), seed=3).microphone(mic)
+        assert (mic.record(channel, 0.0, 0.3).samples == baseline.samples).all()
+
+
+class TestSpeakerDropout:
+    def _rig(self):
+        sim = Simulator()
+        channel = AcousticChannel()
+        harness = FaultHarness(sim, seed=3)
+        air = harness.acoustic(channel)
+        return sim, channel, harness, air
+
+    def test_render_during_outage_is_silent(self):
+        sim, channel, harness, air = self._rig()
+        channel.play_tone(0.1, TONE, SPEAKER_AT)
+        air.drop_speaker(SPEAKER_AT, 0.0, 0.5)
+        assert _rms(channel.render_at(LISTENER, 0.0, 0.3)) < 1e-6
+
+    def test_tone_outside_outage_unaffected(self):
+        sim, channel, harness, air = self._rig()
+        channel.play_tone(0.1, TONE, SPEAKER_AT)
+        air.drop_speaker(SPEAKER_AT, 0.5, 1.0)
+        assert _rms(channel.render_at(LISTENER, 0.0, 0.3)) > 1e-3
+
+    def test_emission_overlap_semantics(self):
+        """A tone straddling the outage edge is fully muted."""
+        sim, channel, harness, air = self._rig()
+        channel.play_tone(0.1, TONE, SPEAKER_AT)  # emission [0.1, 0.18)
+        air.drop_speaker(SPEAKER_AT, 0.15, 0.5)
+        assert _rms(channel.render_at(LISTENER, 0.0, 0.3)) < 1e-6
+
+    def test_other_speakers_unaffected(self):
+        sim, channel, harness, air = self._rig()
+        other = Position(0.0, 1.0, 0.0)
+        channel.play_tone(0.1, TONE, SPEAKER_AT)
+        channel.play_tone(0.1, TONE, other)
+        air.drop_speaker(SPEAKER_AT, 0.0, 0.5)
+        assert _rms(channel.render_at(LISTENER, 0.0, 0.3)) > 1e-3
+
+    def test_cache_invalidated_by_fault_state_change(self):
+        """A memoized window must be re-rendered — not served stale —
+        once a fault covering it is scheduled."""
+        sim, channel, harness, air = self._rig()
+        channel.play_tone(1.1, TONE, SPEAKER_AT)
+        loud = channel.render_at(LISTENER, 1.0, 1.3)
+        cached = channel.render_at(LISTENER, 1.0, 1.3)  # memo hit
+        assert (loud.samples == cached.samples).all()
+        assert _rms(loud) > 1e-3
+        air.drop_speaker(SPEAKER_AT, 1.0, 2.0)  # must evict the memo
+        muted = channel.render_at(LISTENER, 1.0, 1.3)
+        assert _rms(muted) < 1e-6
+
+    def test_reference_path_equivalent_under_faults(self):
+        sim, channel, harness, air = self._rig()
+        channel.play_tone(0.05, TONE, SPEAKER_AT)
+        channel.play_tone(0.1, ToneSpec(1500.0, 0.08, 68.0), SPEAKER_AT)
+        air.drop_speaker(SPEAKER_AT, 0.0, 0.08)
+        air.degrade_speaker(SPEAKER_AT, 0.0, 1.0, loss_db=6.0)
+        fast = channel.render_at(LISTENER, 0.0, 0.3)
+        reference = channel.render_at_reference(LISTENER, 0.0, 0.3)
+        np.testing.assert_allclose(fast.samples, reference.samples,
+                                   atol=1e-9)
+
+    def test_counters(self):
+        sim, channel, harness, air = self._rig()
+        channel.play_tone(0.1, TONE, SPEAKER_AT)
+        air.drop_speaker(SPEAKER_AT, 0.0, 0.5)
+        channel.render_at(LISTENER, 0.0, 0.3)
+        summary = harness.summary()
+        assert summary["speaker_dropouts"] == 1
+        assert summary["tones_muted"] >= 1
+
+    def test_validation(self):
+        sim, channel, harness, air = self._rig()
+        with pytest.raises(ValueError):
+            air.drop_speaker(SPEAKER_AT, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            air.degrade_speaker(SPEAKER_AT, 0.0, 1.0, loss_db=-3.0)
+        with pytest.raises(ValueError):
+            air.random_dropouts(SPEAKER_AT, 0.0, 10.0, rate=1.0)
+
+
+class TestSpeakerDegradation:
+    def test_attenuates_by_loss_db(self):
+        sim = Simulator()
+        channel = AcousticChannel()
+        channel.play_tone(0.1, TONE, SPEAKER_AT)
+        clean = channel.render_at(LISTENER, 0.0, 0.3)
+        air = FaultHarness(sim, seed=3).acoustic(channel)
+        air.degrade_speaker(SPEAKER_AT, 0.0, 1.0, loss_db=20.0)
+        degraded = channel.render_at(LISTENER, 0.0, 0.3)
+        ratio = _rms(degraded) / _rms(clean)
+        assert ratio == pytest.approx(10 ** (-20.0 / 20.0), rel=1e-3)
+
+    def test_overlapping_degradations_stack(self):
+        sim = Simulator()
+        channel = AcousticChannel()
+        channel.play_tone(0.1, TONE, SPEAKER_AT)
+        clean = channel.render_at(LISTENER, 0.0, 0.3)
+        air = FaultHarness(sim, seed=3).acoustic(channel)
+        air.degrade_speaker(SPEAKER_AT, 0.0, 1.0, loss_db=6.0)
+        air.degrade_speaker(SPEAKER_AT, 0.0, 1.0, loss_db=6.0)
+        degraded = channel.render_at(LISTENER, 0.0, 0.3)
+        ratio = _rms(degraded) / _rms(clean)
+        assert ratio == pytest.approx(10 ** (-12.0 / 20.0), rel=1e-3)
+
+
+class TestClockSkew:
+    def test_emission_shifted(self):
+        sim = Simulator()
+        channel = AcousticChannel()
+        air = FaultHarness(sim, seed=3).acoustic(channel)
+        air.set_clock_skew(SPEAKER_AT, 0.25)
+        tone = channel.play_tone(0.1, TONE, SPEAKER_AT)
+        assert tone.start_time == pytest.approx(0.35)
+
+    def test_negative_skew_clamped_at_zero(self):
+        sim = Simulator()
+        channel = AcousticChannel()
+        air = FaultHarness(sim, seed=3).acoustic(channel)
+        air.set_clock_skew(SPEAKER_AT, -0.5)
+        tone = channel.play_tone(0.1, TONE, SPEAKER_AT)
+        assert tone.start_time == 0.0
+
+
+class TestRandomDropouts:
+    def test_deterministic(self):
+        def windows():
+            sim = Simulator()
+            channel = AcousticChannel()
+            air = FaultHarness(sim, seed=9).acoustic(channel)
+            return air.random_dropouts(SPEAKER_AT, 0.0, 60.0, rate=0.3,
+                                       label="x")
+
+        assert windows() == windows()
+
+    def test_duty_cycle_near_rate(self):
+        sim = Simulator()
+        channel = AcousticChannel()
+        air = FaultHarness(sim, seed=9).acoustic(channel)
+        spans = air.random_dropouts(SPEAKER_AT, 0.0, 600.0, rate=0.3,
+                                    label="duty")
+        down = sum(end - start for start, end in spans)
+        assert down / 600.0 == pytest.approx(0.3, abs=0.1)
+
+    def test_zero_rate_schedules_nothing(self):
+        sim = Simulator()
+        channel = AcousticChannel()
+        air = FaultHarness(sim, seed=9).acoustic(channel)
+        assert air.random_dropouts(SPEAKER_AT, 0.0, 60.0, rate=0.0) == []
+
+
+class TestMicrophoneFaults:
+    def _rig(self):
+        sim = Simulator()
+        channel = AcousticChannel()
+        channel.play_tone(0.1, TONE, SPEAKER_AT)
+        mic = Microphone(LISTENER, seed=5)
+        faults = FaultHarness(sim, seed=3).microphone(mic)
+        return channel, mic, faults
+
+    def test_failed_mic_records_silence(self):
+        channel, mic, faults = self._rig()
+        faults.fail(0.0, 1.0)
+        assert _rms(mic.record(channel, 0.0, 0.3)) == 0.0
+
+    def test_clipping_limits_amplitude(self):
+        channel, mic, faults = self._rig()
+        clean = mic.record(channel, 0.0, 0.3)
+        faults.clip(0.0, 1.0, clip_level_db=40.0)
+        clipped = mic.record(channel, 0.0, 0.3)
+        assert np.abs(clipped.samples).max() < np.abs(clean.samples).max()
+
+    def test_capture_outside_window_unaffected(self):
+        channel, mic, faults = self._rig()
+        faults.fail(1.0, 2.0)
+        assert _rms(mic.record(channel, 0.0, 0.3)) > 1e-3
+
+
+class TestArrayWithDeadMics:
+    def _array(self, fail_stations):
+        sim = Simulator()
+        channel = AcousticChannel()
+        harness = FaultHarness(sim, seed=3)
+        stations = {
+            "near": Microphone(Position(), seed=1),
+            "far": Microphone(Position(3.0, 0.0, 0.0), seed=2),
+        }
+        for name in fail_stations:
+            harness.microphone(stations[name]).fail(0.0, 100.0)
+        agent = MusicAgent(sim, channel, Speaker(SPEAKER_AT))
+        array = MicrophoneArray(sim, channel, stations)
+        heard = []
+        array.watch([TONE.frequency], on_detection=heard.append)
+        array.start()
+        sim.every(0.5, lambda: agent.play(TONE.frequency, TONE.duration,
+                                          TONE.level_db), start=0.25)
+        sim.run(3.0)
+        return array, heard
+
+    def test_zero_working_mics_yields_no_detections(self):
+        array, heard = self._array(fail_stations=("near", "far"))
+        assert heard == []
+        assert array.windows_processed > 0  # kept polling, no crash
+
+    def test_one_dead_station_falls_back_to_the_other(self):
+        array, heard = self._array(fail_stations=("near",))
+        assert heard
+        assert {d.station for d in heard} == {"far"}
+
+
+class TestMpLinkFaults:
+    def _run(self, loss_rate, corrupt_rate, frames=40, seed=3):
+        sim = Simulator()
+        channel = AcousticChannel()
+        agent = MusicAgent(sim, channel, Speaker(SPEAKER_AT), name="s1")
+        switch = Switch(sim, "s1")
+        bridge = PiBridge(sim, switch, agent)
+        harness = FaultHarness(sim, seed=seed)
+        harness.mp_link(switch.ports[bridge.pi_port], loss_rate=loss_rate,
+                        corrupt_rate=corrupt_rate, label="t")
+        message = MusicProtocolMessage(1000.0, 0.05, 70.0)
+        for index in range(frames):
+            sim.schedule_at(index * 0.2, bridge.send_mp, message)
+        sim.run(frames * 0.2 + 1.0)
+        return bridge, harness.summary()
+
+    def test_loss_drops_frames(self):
+        bridge, summary = self._run(loss_rate=0.3, corrupt_rate=0.0)
+        assert summary["mp_frames_lost"] > 0
+        assert (bridge.pi.mp_played.total
+                == 40 - summary["mp_frames_lost"])
+
+    def test_corruption_rejected_by_checksum(self):
+        bridge, summary = self._run(loss_rate=0.0, corrupt_rate=0.5)
+        assert summary["mp_frames_corrupted"] > 0
+        assert bridge.pi.mp_rejected.total == summary["mp_frames_corrupted"]
+        assert (bridge.pi.mp_played.total
+                == 40 - summary["mp_frames_corrupted"])
+
+    def test_loss_stream_is_seed_deterministic(self):
+        first, _ = self._run(loss_rate=0.3, corrupt_rate=0.0)
+        second, _ = self._run(loss_rate=0.3, corrupt_rate=0.0)
+        assert first.pi.mp_played.total == second.pi.mp_played.total
+
+    def test_rate_validation(self):
+        sim = Simulator()
+        channel = AcousticChannel()
+        agent = MusicAgent(sim, channel, Speaker(SPEAKER_AT), name="s1")
+        switch = Switch(sim, "s1")
+        bridge = PiBridge(sim, switch, agent)
+        with pytest.raises(ValueError):
+            FaultHarness(sim).mp_link(switch.ports[bridge.pi_port],
+                                      loss_rate=1.5)
+
+
+class TestPiFaults:
+    def test_crash_window_drops_then_recovers(self):
+        sim = Simulator()
+        channel = AcousticChannel()
+        agent = MusicAgent(sim, channel, Speaker(SPEAKER_AT), name="s1")
+        switch = Switch(sim, "s1")
+        bridge = PiBridge(sim, switch, agent)
+        harness = FaultHarness(sim, seed=3)
+        harness.pi(bridge.pi).crash(1.0, 2.0)
+        message = MusicProtocolMessage(1000.0, 0.05, 70.0)
+        for index in range(30):
+            sim.schedule_at(index * 0.1, bridge.send_mp, message)
+        sim.run(4.0)
+        assert bridge.pi.mp_dropped_crashed.total > 0
+        assert bridge.pi.mp_played.total == 30 - bridge.pi.mp_dropped_crashed.total
+        assert not bridge.pi.crashed
+        assert harness.summary()["pi_crashes"] == 1

@@ -1,0 +1,140 @@
+"""Unit tests for the per-emitter channel-health monitor.
+
+Driven through a stub controller so beats and windows can be placed
+exactly on (and off) the grid without an acoustic stack in the loop.
+"""
+
+import pytest
+
+from repro.audio.detector import DetectionEvent
+from repro.core import ChannelHealth, ChannelHealthMonitor
+from repro.net.sim import Simulator
+
+FREQ = 1000.0
+PERIOD = 1.0
+
+
+class StubController:
+    """The slice of MDNController the health monitor consumes."""
+
+    def __init__(self):
+        self.sim = Simulator()
+        self.listen_interval = 0.1
+        self.min_level_db = 30.0
+        self.detection_cb = None
+        self.window_cb = None
+
+    def watch(self, frequencies, on_detection=None, on_onset=None):
+        self.detection_cb = on_detection
+
+    def on_window(self, callback):
+        self.window_cb = callback
+
+
+def _monitor(**kwargs):
+    controller = StubController()
+    monitor = ChannelHealthMonitor(controller, {"dev": FREQ},
+                                   period=PERIOD, **kwargs)
+    return controller, monitor
+
+
+def _beat(controller, time, level_db=60.0):
+    controller.detection_cb(DetectionEvent(FREQ, FREQ, level_db, time))
+
+
+class TestValidation:
+    def test_needs_emitters(self):
+        with pytest.raises(ValueError):
+            ChannelHealthMonitor(StubController(), {}, period=1.0)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            ChannelHealthMonitor(StubController(), {"a": 500.0}, period=0.0)
+
+    def test_rejects_duplicate_frequencies(self):
+        with pytest.raises(ValueError, match="unique"):
+            ChannelHealthMonitor(StubController(),
+                                 {"a": 500.0, "b": 500.0}, period=1.0)
+
+
+class TestLiveness:
+    def test_steady_beats_stay_healthy(self):
+        controller, monitor = _monitor()
+        for beat in range(10):
+            _beat(controller, 0.5 + beat * PERIOD)
+            controller.window_cb([], 0.5 + beat * PERIOD + 0.1)
+        assert monitor.state_of("dev") is ChannelHealth.HEALTHY
+        assert monitor.transitions == []
+
+    def test_silence_goes_dead(self):
+        controller, monitor = _monitor(dead_misses=2)
+        _beat(controller, 0.5)
+        dead_after = 2 * PERIOD + controller.listen_interval
+        # While beats are missing but the deadline hasn't passed, the
+        # rising miss rate reads DEGRADED — not yet DEAD.
+        controller.window_cb([], 0.5 + dead_after - 0.05)
+        assert monitor.state_of("dev") is not ChannelHealth.DEAD
+        controller.window_cb([], 0.5 + dead_after + 0.05)
+        assert monitor.state_of("dev") is ChannelHealth.DEAD
+        assert monitor.transitions[-1].state is ChannelHealth.DEAD
+
+    def test_never_heard_grace_then_dead(self):
+        controller, monitor = _monitor(dead_misses=2)
+        controller.window_cb([], 0.5)
+        assert monitor.state_of("dev") is ChannelHealth.HEALTHY
+        controller.window_cb([], 4.0)
+        assert monitor.state_of("dev") is ChannelHealth.DEAD
+
+    def test_late_detection_does_not_stretch_deadline(self):
+        """A beat detected 0.4 s late snaps to its grid slot; the DEAD
+        deadline stays grid-anchored."""
+        controller, monitor = _monitor(dead_misses=2)
+        _beat(controller, 0.5)          # origin: grid = 0.5 + n
+        _beat(controller, 1.9)          # slot 1 (grid 1.5), heard late
+        dead_after = 2 * PERIOD + controller.listen_interval
+        # From the grid reference (1.5) the deadline passes at 3.6;
+        # from the raw arrival (1.9) it would not pass until 4.0.
+        controller.window_cb([], 1.5 + dead_after + 0.1)
+        assert monitor.state_of("dev") is ChannelHealth.DEAD
+
+    def test_recovery_returns_to_healthy(self):
+        controller, monitor = _monitor(dead_misses=2, window_beats=4)
+        _beat(controller, 0.5)
+        controller.window_cb([], 4.5)
+        assert monitor.state_of("dev") is ChannelHealth.DEAD
+        # Beats resume on the same grid; the miss window drains.
+        for beat in range(8, 20):
+            _beat(controller, 0.5 + beat * PERIOD)
+            controller.window_cb([], 0.5 + beat * PERIOD + 0.1)
+        assert monitor.state_of("dev") is ChannelHealth.HEALTHY
+        states = [t.state for t in monitor.transitions]
+        assert states[0] is ChannelHealth.DEAD
+        assert states[-1] is ChannelHealth.HEALTHY
+
+
+class TestDegradation:
+    def test_missed_beats_degrade(self):
+        controller, monitor = _monitor(window_beats=10,
+                                       degraded_miss_rate=0.34)
+        for beat in range(0, 20, 2):   # every other beat lost
+            _beat(controller, 0.5 + beat * PERIOD)
+        time = 0.5 + 19 * PERIOD
+        controller.window_cb([], time)
+        assert monitor.state_of("dev") is ChannelHealth.DEGRADED
+        assert monitor.miss_rate("dev", time) >= 0.34
+
+    def test_low_snr_margin_degrades(self):
+        controller, monitor = _monitor(min_snr_margin_db=3.0)
+        for beat in range(6):
+            _beat(controller, 0.5 + beat * PERIOD, level_db=31.0)
+        controller.window_cb([], 0.5 + 5 * PERIOD + 0.1)
+        assert monitor.state_of("dev") is ChannelHealth.DEGRADED
+        assert monitor.snr_margin_db("dev") == pytest.approx(1.0)
+
+    def test_strong_steady_signal_not_degraded(self):
+        controller, monitor = _monitor()
+        for beat in range(6):
+            _beat(controller, 0.5 + beat * PERIOD, level_db=60.0)
+        controller.window_cb([], 0.5 + 5 * PERIOD + 0.1)
+        assert monitor.state_of("dev") is ChannelHealth.HEALTHY
+        assert monitor.states() == {"dev": ChannelHealth.HEALTHY}

@@ -86,6 +86,67 @@ class TestWireFormat:
         assert abs(decoded.intensity_db - intensity) <= 0.005 + 1e-9
 
 
+class TestDecodeHardening:
+    """A receiver parsing untrusted frames must only ever see
+    MusicProtocolError — never a bare struct.error or ValueError."""
+
+    def test_decode_is_unmarshal(self):
+        message = MusicProtocolMessage(440, 0.1)
+        assert MusicProtocolMessage.decode(message.marshal()) == (
+            MusicProtocolMessage.unmarshal(message.marshal())
+        )
+
+    def test_non_bytes_rejected(self):
+        for junk in ("MPstring12ch", 12, None, [1, 2, 3]):
+            with pytest.raises(MusicProtocolError):
+                MusicProtocolMessage.decode(junk)
+
+    def test_bytearray_and_memoryview_accepted(self):
+        wire = MusicProtocolMessage(440, 0.1).marshal()
+        assert MusicProtocolMessage.decode(bytearray(wire)) == (
+            MusicProtocolMessage.decode(memoryview(wire))
+        )
+
+    def test_every_truncation_rejected(self):
+        wire = MusicProtocolMessage(440, 0.1).marshal()
+        for length in range(WIRE_SIZE):
+            with pytest.raises(MusicProtocolError):
+                MusicProtocolMessage.decode(wire[:length])
+
+    def test_every_single_bit_flip_rejected(self):
+        """The XOR checksum catches all 96 single-bit corruptions."""
+        wire = MusicProtocolMessage(1000.0, 0.05, 70.0).marshal()
+        for bit in range(len(wire) * 8):
+            flipped = bytearray(wire)
+            flipped[bit // 8] ^= 1 << (bit % 8)
+            with pytest.raises(MusicProtocolError):
+                MusicProtocolMessage.decode(bytes(flipped))
+
+    @given(blob=st.binary(min_size=0, max_size=3 * WIRE_SIZE))
+    def test_random_bytes_never_leak_bare_errors(self, blob):
+        try:
+            MusicProtocolMessage.decode(blob)
+        except MusicProtocolError:
+            pass  # the only permitted failure mode
+
+    @given(
+        frequency=st.floats(min_value=0.01, max_value=20000.0),
+        duration=st.floats(min_value=0.001, max_value=60.0),
+        intensity=st.floats(min_value=0.0, max_value=120.0),
+        bit=st.integers(min_value=0, max_value=WIRE_SIZE * 8 - 1),
+    )
+    def test_fuzzed_bit_flips_on_valid_frames(self, frequency, duration,
+                                              intensity, bit):
+        """Round-trip survives marshalling; any one flipped bit is
+        rejected, whatever the payload underneath."""
+        wire = MusicProtocolMessage(frequency, duration, intensity).marshal()
+        MusicProtocolMessage.decode(wire)  # pristine frame decodes
+        flipped = bytearray(wire)
+        flipped[bit // 8] ^= 1 << (bit % 8)
+        with pytest.raises(MusicProtocolError):
+            MusicProtocolMessage.decode(bytes(flipped))
+
+
 class TestToneSpecBridge:
     def test_to_tone_spec(self):
         spec = MusicProtocolMessage(880, 0.05, 65).to_tone_spec()
