@@ -373,6 +373,51 @@ def test_perf_faults_disabled_overhead():
 
 
 @pytest.mark.perf
+def test_perf_spectrum_sentinel_disabled_overhead(busy_channel):
+    """Acceptance gate for the spectrum-agility tap: a *disabled*
+    InterferenceSentinel wired as the detector's spectrum sink must
+    leave the detection events bit-identical and stay within 5% of the
+    bare detector's timing on the listening hot path (the sentinel
+    must be free when unused)."""
+    from repro.core.spectrum import InterferenceSentinel
+
+    plan = FrequencyPlan(low_hz=500.0, guard_hz=40.0)
+    watched = list(plan.allocate("all", 10).frequencies)
+    microphone = Microphone(Position(), seed=1)
+    windows = [microphone.record(busy_channel, tick * 0.1, (tick + 1) * 0.1)
+               for tick in range(6)]
+
+    bare = FrequencyDetector(watched)
+    sentinel = InterferenceSentinel(plan, enabled=False)
+    hooked = FrequencyDetector(watched, spectrum_sink=sentinel.observe)
+
+    for tick, window in enumerate(windows):
+        plain = bare.detect(window, tick * 0.1)
+        tapped = hooked.detect(window, tick * 0.1)
+        assert plain == tapped
+    assert sentinel.windows_seen == 0, "disabled sentinel must observe nothing"
+
+    def sweep(detector):
+        for tick, window in enumerate(windows):
+            detector.detect(window, tick * 0.1)
+
+    sweep(bare)
+    sweep(hooked)  # warm both before timing
+    bare_s = _best_of(lambda: sweep(bare))
+    hooked_s = _best_of(lambda: sweep(hooked))
+    overhead = hooked_s / bare_s - 1.0
+    _record_perf("spectrum_sentinel_idle_overhead_10f_6win", {
+        "bare_ms": bare_s * 1e3,
+        "hooked_ms": hooked_s * 1e3,
+        "idle_overhead": overhead,
+    })
+    print(f"\nidle sentinel overhead 10 freqs / {len(windows)} windows: "
+          f"bare {bare_s*1e3:.2f} ms, "
+          f"hooked {hooked_s*1e3:.2f} ms ({overhead:+.1%})")
+    assert overhead < 0.05
+
+
+@pytest.mark.perf
 def test_perf_goertzel_bank_vectorized_speedup():
     """The phasor-matrix bank must beat the scalar per-frequency loop
     by >= 5x on the paper's workload: a 16-frequency watch list over a

@@ -66,12 +66,20 @@ class DetectionEvent:
         Received level of the tone, dB SPL.
     time:
         Capture-window start time, seconds (simulation clock).
+    epoch:
+        Frequency-plan epoch the tone is attributed to (0 until a
+        spectrum migration ever commits).  During a make-before-break
+        handover, a tone heard on a *pre-migration* frequency carries
+        the epoch it was emitted under while ``frequency`` already
+        names its relocated plan entry — so no event is lost or
+        misattributed across a PLAN_COMMIT boundary.
     """
 
     frequency: float
     measured_frequency: float
     level_db: float
     time: float
+    epoch: int = 0
 
 
 class FrequencyDetector:
@@ -93,6 +101,14 @@ class FrequencyDetector:
         with, so tones cut by window boundaries can bleed into a 20 Hz
         neighbour's bin; plans driving a Goertzel deployment should use
         a 40 Hz guard (the FFT backend resolves 20 Hz).
+    spectrum_sink:
+        Optional ``callback(spectrum, time)`` invoked with every window
+        spectrum the FFT backend computes during :meth:`detect` —
+        *before* events are returned.  This is how the interference
+        sentinel (:mod:`repro.core.spectrum`) estimates per-band noise
+        occupancy from spectra the detector already paid for, with no
+        extra FFTs.  ``None`` (the default) costs a single ``is not
+        None`` check per window.
     """
 
     def __init__(
@@ -103,6 +119,7 @@ class FrequencyDetector:
         min_level_db: float = DEFAULT_MIN_LEVEL_DB,
         backend: str = "fft",
         analyzer: SpectrumAnalyzer | None = None,
+        spectrum_sink=None,
     ) -> None:
         if not watched_frequencies:
             raise ValueError("watched_frequencies must not be empty")
@@ -116,6 +133,12 @@ class FrequencyDetector:
         self.min_level_db = min_level_db
         self.backend = backend
         self._analyzer = analyzer or SpectrumAnalyzer(zero_pad_factor=2)
+        self.spectrum_sink = spectrum_sink
+        if spectrum_sink is not None and backend != "fft":
+            raise ValueError(
+                "spectrum_sink requires the fft backend (the Goertzel "
+                "bank computes no full spectrum)"
+            )
         self._goertzel = GoertzelBank(self.watched) if backend == "goertzel" else None
         # Observability (repro.obs).  Detectors are rebuilt whenever the
         # watch list changes, so the instruments are get-or-create on the
@@ -205,6 +228,8 @@ class FrequencyDetector:
 
     def _detect_fft(self, window: AudioSignal, time: float) -> list[DetectionEvent]:
         spectrum = self._analyzer.analyze(window)
+        if self.spectrum_sink is not None:
+            self.spectrum_sink(spectrum, time)
         return self._events_from_spectrum(spectrum, time)
 
     def _events_from_spectrum(

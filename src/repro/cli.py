@@ -216,6 +216,42 @@ def run_xext12(args: argparse.Namespace) -> None:
     ])
 
 
+def run_xext13(args: argparse.Namespace) -> None:
+    result = experiments.spectrum_agility_experiment(
+        smoke=getattr(args, "smoke", False)
+    )
+
+    def _policy_row(point):
+        extra = ""
+        if point.policy == "agility":
+            latency = (f"{point.migration_latency:.2f} s"
+                       if point.migration_latency is not None else "never")
+            extra = (f"  ({point.migrations_committed} migrations, "
+                     f"epoch {point.plan_epoch}, latency {latency})")
+        elif point.policy == "failover":
+            extra = (f"  ({point.failovers} failovers, "
+                     f"{point.health_transitions} health transitions)")
+        return (point.policy,
+                f"clean {point.clean_delivery:.1%}  "
+                f"jammed {point.delivery:.1%}{extra}")
+
+    headline = result.agility
+    _print_table(
+        f"XEXT13a: {headline.covered_fraction:.0%} of the allocation "
+        f"jammed from t = {headline.interferer_start:.1f} s", [
+            _policy_row(result.static),
+            _policy_row(result.failover),
+            _policy_row(result.agility),
+        ])
+    _print_table("XEXT13b: interference bandwidth vs delivery", [
+        (f"covered {point.covered_fraction:.0%}",
+         f"static {point.static_delivery:.1%}  "
+         f"agility {point.agility_delivery:.1%}  "
+         f"({point.migrations} migrations)")
+        for point in result.sweep
+    ])
+
+
 def run_obs(args: argparse.Namespace) -> None:
     """Run one experiment under ``repro.obs`` and print/export metrics."""
     from pathlib import Path
@@ -264,6 +300,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
     "xbase": ("baseline comparisons", run_xbase),
     "xext": ("extensions (relay, DDoS, ultrasound, modem)", run_xext),
     "xext12": ("resilience (fault injection, ARQ, failover)", run_xext12),
+    "xext13": ("spectrum agility (interference replanning)", run_xext13),
 }
 
 
@@ -365,7 +402,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--samples", type=int, default=1000,
                             help="sample count for fig2b")
     run_parser.add_argument("--smoke", action="store_true",
-                            help="shrink sweeps for CI (xext12)")
+                            help="shrink sweeps for CI (xext12/xext13)")
 
     render_parser = subparsers.add_parser(
         "render", help="write experiment audio to a WAV file"
@@ -391,7 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
     obs_parser.add_argument("--samples", type=int, default=1000,
                             help="sample count for fig2b")
     obs_parser.add_argument("--smoke", action="store_true",
-                            help="shrink sweeps for CI (xext12)")
+                            help="shrink sweeps for CI (xext12/xext13)")
     return parser
 
 

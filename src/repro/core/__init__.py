@@ -28,9 +28,23 @@ from .protocol import (
     MAX_DURATION_S,
     MAX_FREQUENCY_HZ,
     MAX_INTENSITY_DB,
+    PLAN_ABORT,
+    PLAN_COMMIT,
+    PLAN_PREPARE,
     WIRE_SIZE,
     MusicProtocolError,
     MusicProtocolMessage,
+    PlanControlMessage,
+)
+from .spectrum import (
+    FrequencyMove,
+    InterferenceSentinel,
+    LocalPlanParticipant,
+    MigrationRecord,
+    PiPlanParticipant,
+    SpectrumAgilityManager,
+    replan,
+    shadowed_slots,
 )
 from .localize import (
     LocalizationResult,
@@ -76,6 +90,18 @@ __all__ = [
     "RaspberryPi",
     "MusicProtocolError",
     "MusicProtocolMessage",
+    "PlanControlMessage",
+    "PLAN_ABORT",
+    "PLAN_COMMIT",
+    "PLAN_PREPARE",
+    "FrequencyMove",
+    "InterferenceSentinel",
+    "LocalPlanParticipant",
+    "MigrationRecord",
+    "PiPlanParticipant",
+    "SpectrumAgilityManager",
+    "replan",
+    "shadowed_slots",
     "ReceivedFrame",
     "StateMachine",
     "TdoaLocalizer",

@@ -40,6 +40,17 @@ class FlowToneMapper:
         bucket = flow.stable_hash() % len(self.allocation)
         return self.allocation.frequency_for(bucket)
 
+    def rebind(self, allocation: Allocation) -> None:
+        """Adopt a migrated allocation (spectrum agility PLAN_COMMIT):
+        same bucket count, same symbol order, new tones.  Both halves
+        share one mapper, so a single rebind retunes the whole app."""
+        if len(allocation) != len(self.allocation):
+            raise ValueError(
+                f"migrated allocation holds {len(allocation)} frequencies, "
+                f"expected {len(self.allocation)} (bucket map would shift)"
+            )
+        self.allocation = allocation
+
 
 class HeavyHitterEmitter:
     """Switch-side half: one tone per flow bucket per emission period.

@@ -70,6 +70,12 @@ class _PendingFrame:
     deadline: float
     timeout: float
     attempts: int = 0
+    #: Optional delivery callbacks — ``on_ack(sequence, latency)`` when
+    #: the frame is acknowledged, ``on_expire(sequence)`` when its
+    #: deadline passes unacknowledged.  The migration protocol uses
+    #: these to learn which participants are PREPAREd.
+    on_ack: object = None
+    on_expire: object = None
 
 
 @dataclass
@@ -115,16 +121,24 @@ class MpArqSender:
     def send(self, message: MusicProtocolMessage) -> int:
         """Frame, transmit, and track one MP message; returns its
         sequence number."""
+        return self.send_wire(message.marshal())
+
+    def send_wire(self, payload: bytes, on_ack=None, on_expire=None) -> int:
+        """Frame, transmit, and track one raw payload under the ARQ
+        envelope (``b"MD" + seq + payload``); returns its sequence
+        number.  ``on_ack(sequence, latency)`` / ``on_expire(sequence)``
+        fire when the frame is acknowledged or its deadline passes."""
         sequence = self._next_sequence
         self._next_sequence = (self._next_sequence + 1) % 65_536
-        wire = (ARQ_DATA_MAGIC + sequence.to_bytes(2, "big")
-                + message.marshal())
+        wire = ARQ_DATA_MAGIC + sequence.to_bytes(2, "big") + payload
         now = self.sim.now
         self._pending[sequence] = _PendingFrame(
             wire=wire,
             first_sent=now,
             deadline=now + self.config.deadline,
             timeout=self.config.initial_timeout,
+            on_ack=on_ack,
+            on_expire=on_expire,
         )
         self._m_sent.inc()
         self._transmit(sequence)
@@ -159,6 +173,8 @@ class MpArqSender:
         if frame is not None:
             self._m_expired.inc()
             self.expired_log.append(sequence)
+            if frame.on_expire is not None:
+                frame.on_expire(sequence)
 
     # ------------------------------------------------------------------
     # ACK path
@@ -176,7 +192,10 @@ class MpArqSender:
         if frame is None:
             return  # duplicate ACK of a retransmitted frame
         self._m_acked.inc()
-        self.acked_log.append((sequence, self.sim.now - frame.first_sent))
+        latency = self.sim.now - frame.first_sent
+        self.acked_log.append((sequence, latency))
+        if frame.on_ack is not None:
+            frame.on_ack(sequence, latency)
 
     # ------------------------------------------------------------------
     # Reporting

@@ -11,11 +11,22 @@ simultaneously only considering the human-hearable frequency range."
 of candidate frequencies on a guard-spaced grid, handed out in blocks
 to named devices, with reverse lookup so a detected tone can be traced
 back to (device, index).
+
+Plans are **mutable over their lifetime**: devices can
+:meth:`~FrequencyPlan.release` their block (freed slots are reused by
+later allocations) and the spectrum-agility layer
+(:mod:`repro.core.spectrum`) can relocate individual slots away from
+interference with :meth:`~FrequencyPlan.apply_moves`.  Every committed
+relocation bumps the plan's :attr:`~FrequencyPlan.epoch`, which the
+controller stamps onto detections so tones emitted under the previous
+plan are still attributed correctly during a migration handover.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
+from typing import Iterable
 
 #: The paper's empirical separation requirement, Hz.
 DEFAULT_GUARD_HZ = 20.0
@@ -27,6 +38,28 @@ DEFAULT_BAND = (400.0, 7_600.0)
 
 class FrequencyPlanError(ValueError):
     """Raised when an allocation cannot be satisfied."""
+
+
+def _nearest_within(
+    candidates: list[float], frequency: float, tolerance_hz: float
+) -> float | None:
+    """The candidate nearest ``frequency`` if within ``tolerance_hz``.
+
+    ``candidates`` must be sorted ascending.  Detected frequencies are
+    FFT-bin-quantized (and parabolic interpolation adds its own
+    epsilon), so reverse lookups must never rely on exact float
+    equality with the plan grid.
+    """
+    if not candidates:
+        return None
+    index = bisect_left(candidates, frequency)
+    best: float | None = None
+    for neighbour in candidates[max(0, index - 1):index + 1]:
+        if best is None or abs(neighbour - frequency) < abs(best - frequency):
+            best = neighbour
+    if best is not None and abs(best - frequency) <= tolerance_hz:
+        return best
+    return None
 
 
 @dataclass(frozen=True)
@@ -41,9 +74,32 @@ class Allocation:
         symbols — ports, queue bands, flow-hash buckets — to tones)."""
         return self.frequencies[index]
 
-    def index_of(self, frequency: float) -> int:
-        """Inverse of :meth:`frequency_for`."""
-        return self.frequencies.index(frequency)
+    def index_of(self, frequency: float,
+                 tolerance_hz: float = DEFAULT_GUARD_HZ / 2) -> int:
+        """Inverse of :meth:`frequency_for`.
+
+        The lookup is tolerance-based (default: half the guard band):
+        a detected tone arrives FFT-bin-quantized, so ``frequency`` may
+        differ from the assigned value by up to a bin width.  Raises
+        :class:`ValueError` when nothing is within tolerance, like the
+        exact ``list.index`` it replaces.
+        """
+        ordered = sorted(self.frequencies)
+        match = _nearest_within(ordered, float(frequency), tolerance_hz)
+        if match is None:
+            raise ValueError(
+                f"{frequency} Hz is not within {tolerance_hz} Hz of any "
+                f"frequency allocated to {self.device!r}"
+            )
+        return self.frequencies.index(match)
+
+    def moved(self, moves: dict[int, float]) -> "Allocation":
+        """A copy with the indexed frequencies replaced (same symbol
+        order, new tones) — how a migration rebinds a block."""
+        frequencies = list(self.frequencies)
+        for index, frequency in moves.items():
+            frequencies[index] = float(frequency)
+        return Allocation(self.device, tuple(frequencies))
 
     def __len__(self) -> int:
         return len(self.frequencies)
@@ -74,9 +130,12 @@ class FrequencyPlan:
         self.low_hz = low_hz
         self.high_hz = high_hz
         self.guard_hz = guard_hz
+        #: Plan generation, bumped by every committed migration
+        #: (:meth:`apply_moves`).  Epoch 0 is the initial static plan.
+        self.epoch = 0
         self._allocations: dict[str, Allocation] = {}
         self._owner_by_frequency: dict[float, str] = {}
-        self._next_slot = 0
+        self._slot_owner: dict[int, str] = {}
 
     # ------------------------------------------------------------------
     # Capacity
@@ -93,11 +152,11 @@ class FrequencyPlan:
 
     @property
     def allocated_count(self) -> int:
-        return self._next_slot
+        return len(self._slot_owner)
 
     @property
     def remaining(self) -> int:
-        return self.capacity - self._next_slot
+        return self.capacity - self.allocated_count
 
     def slot_frequency(self, slot: int) -> float:
         """The frequency of grid slot ``slot``."""
@@ -107,6 +166,29 @@ class FrequencyPlan:
             )
         return self.low_hz + slot * self.guard_hz
 
+    def slot_of(self, frequency: float) -> int:
+        """The grid slot whose centre is nearest ``frequency``."""
+        slot = int(round((float(frequency) - self.low_hz) / self.guard_hz))
+        if not 0 <= slot < self.capacity:
+            raise FrequencyPlanError(
+                f"{frequency} Hz is outside the plan band "
+                f"[{self.low_hz}, {self.high_hz}]"
+            )
+        return slot
+
+    def is_slot_free(self, slot: int) -> bool:
+        """Whether grid slot ``slot`` is currently unallocated."""
+        if not 0 <= slot < self.capacity:
+            raise FrequencyPlanError(
+                f"slot {slot} outside [0, {self.capacity})"
+            )
+        return slot not in self._slot_owner
+
+    def free_slots(self) -> list[int]:
+        """Every unallocated grid slot, ascending."""
+        return [slot for slot in range(self.capacity)
+                if slot not in self._slot_owner]
+
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
@@ -114,28 +196,46 @@ class FrequencyPlan:
     def allocate(self, device: str, count: int) -> Allocation:
         """Assign ``count`` fresh frequencies to ``device``.
 
-        Each device may hold exactly one block (call once per device);
-        blocks never overlap, and all frequencies in all blocks are at
-        least ``guard_hz`` apart.
+        Each device may hold exactly one block (call once per device,
+        or :meth:`release` first); blocks never overlap, and all
+        frequencies in all blocks are at least ``guard_hz`` apart.
+        Slots freed by :meth:`release` are reused, lowest first.
         """
         if count < 1:
             raise FrequencyPlanError(f"count must be >= 1, got {count}")
         if device in self._allocations:
             raise FrequencyPlanError(f"device {device!r} already has a block")
-        if self._next_slot + count > self.capacity:
+        if count > self.remaining:
             raise FrequencyPlanError(
                 f"band exhausted: need {count} slots, {self.remaining} left"
             )
-        frequencies = tuple(
-            self.slot_frequency(self._next_slot + offset)
-            for offset in range(count)
-        )
-        self._next_slot += count
+        slots = []
+        slot = 0
+        while len(slots) < count:
+            if slot not in self._slot_owner:
+                slots.append(slot)
+            slot += 1
+        frequencies = tuple(self.slot_frequency(taken) for taken in slots)
         allocation = Allocation(device, frequencies)
         self._allocations[device] = allocation
-        for frequency in frequencies:
+        for taken, frequency in zip(slots, frequencies):
+            self._slot_owner[taken] = device
             self._owner_by_frequency[frequency] = device
         return allocation
+
+    def release(self, device: str) -> None:
+        """Return ``device``'s block to the free pool.
+
+        The freed slots become eligible for later :meth:`allocate` and
+        migration (:meth:`apply_moves`) calls.  Releasing an unknown
+        device raises :class:`FrequencyPlanError`.
+        """
+        allocation = self._allocations.pop(device, None)
+        if allocation is None:
+            raise FrequencyPlanError(f"no allocation for device {device!r}")
+        for frequency in allocation.frequencies:
+            self._owner_by_frequency.pop(frequency, None)
+            self._slot_owner.pop(self.slot_of(frequency), None)
 
     def allocation_of(self, device: str) -> Allocation:
         allocation = self._allocations.get(device)
@@ -143,14 +243,102 @@ class FrequencyPlan:
             raise FrequencyPlanError(f"no allocation for device {device!r}")
         return allocation
 
-    def owner_of(self, frequency: float) -> str | None:
-        """Which device owns a frequency (None if unallocated)."""
-        return self._owner_by_frequency.get(frequency)
+    def devices(self) -> list[str]:
+        """Every device holding a block, sorted."""
+        return sorted(self._allocations)
+
+    def owner_of(self, frequency: float,
+                 tolerance_hz: float | None = None) -> str | None:
+        """Which device owns a frequency (None if unallocated).
+
+        Lookup is tolerance-based — default half the guard band — so a
+        detected, FFT-bin-quantized frequency still resolves to its
+        plan entry.  Pass ``tolerance_hz=0.0`` for the old exact-match
+        behaviour.
+        """
+        owner = self._owner_by_frequency.get(float(frequency))
+        if owner is not None:
+            return owner
+        if tolerance_hz is None:
+            tolerance_hz = self.guard_hz / 2.0
+        if tolerance_hz <= 0.0:
+            return None
+        match = _nearest_within(
+            sorted(self._owner_by_frequency), float(frequency), tolerance_hz
+        )
+        return self._owner_by_frequency[match] if match is not None else None
 
     def all_frequencies(self) -> list[float]:
         """Every allocated frequency, ascending — the controller's
         watch list."""
         return sorted(self._owner_by_frequency)
+
+    # ------------------------------------------------------------------
+    # Migration (the spectrum-agility replanner's commit primitive)
+    # ------------------------------------------------------------------
+
+    def apply_moves(
+        self, moves: Iterable[tuple[str, int, int]]
+    ) -> dict[str, Allocation]:
+        """Atomically relocate allocation entries to new grid slots.
+
+        ``moves`` is an iterable of ``(device, index, new_slot)``:
+        the ``index``-th frequency of ``device``'s block moves to
+        ``new_slot``.  Old slots are vacated first, so moves may target
+        slots other moves free in the same batch.  The whole batch is
+        validated before any state changes; on success the plan
+        :attr:`epoch` is bumped and the fresh per-device allocations
+        are returned.
+        """
+        batch = [(device, index, new_slot) for device, index, new_slot in moves]
+        if not batch:
+            return {}
+        vacated: set[int] = set()
+        claimed: set[int] = set()
+        per_device: dict[str, dict[int, float]] = {}
+        for device, index, new_slot in batch:
+            allocation = self.allocation_of(device)
+            if not 0 <= index < len(allocation):
+                raise FrequencyPlanError(
+                    f"move index {index} outside {device!r}'s block"
+                )
+            if not 0 <= new_slot < self.capacity:
+                raise FrequencyPlanError(
+                    f"slot {new_slot} outside [0, {self.capacity})"
+                )
+            if new_slot in claimed:
+                raise FrequencyPlanError(
+                    f"slot {new_slot} claimed twice in one migration"
+                )
+            old_slot = self.slot_of(allocation.frequency_for(index))
+            vacated.add(old_slot)
+            claimed.add(new_slot)
+            per_device.setdefault(device, {})[index] = (
+                self.slot_frequency(new_slot)
+            )
+        for slot in claimed:
+            if slot in self._slot_owner and slot not in vacated:
+                raise FrequencyPlanError(
+                    f"slot {slot} is already owned by "
+                    f"{self._slot_owner[slot]!r}"
+                )
+        # Commit: vacate, then claim, then rebuild allocations.
+        for device, index, new_slot in batch:
+            allocation = self._allocations[device]
+            old_frequency = allocation.frequency_for(index)
+            self._owner_by_frequency.pop(old_frequency, None)
+            self._slot_owner.pop(self.slot_of(old_frequency), None)
+        fresh: dict[str, Allocation] = {}
+        for device, index_moves in per_device.items():
+            allocation = self._allocations[device].moved(index_moves)
+            self._allocations[device] = allocation
+            fresh[device] = allocation
+        for device, index, new_slot in batch:
+            frequency = self.slot_frequency(new_slot)
+            self._slot_owner[new_slot] = device
+            self._owner_by_frequency[frequency] = device
+        self.epoch += 1
+        return fresh
 
     def validate_disjoint(self) -> None:
         """Invariant check: every pair of allocated frequencies is at

@@ -61,6 +61,9 @@ class _EmitterTrack:
     heard_slots: set[int] = field(default_factory=set)
     levels: deque = field(default_factory=lambda: deque(maxlen=16))
     state: ChannelHealth = ChannelHealth.HEALTHY
+    #: When the current unbroken run of HEALTHY verdicts began, while
+    #: the committed state is still DEGRADED/DEAD (recovery hysteresis).
+    clean_since: float | None = None
 
 
 TransitionCallback = Callable[[HealthTransition], None]
@@ -92,6 +95,13 @@ class ChannelHealthMonitor:
     liveness_slack:
         Added to the DEAD deadline on top of ``dead_misses`` periods;
         defaults to one listening interval (detection granularity).
+    recovery_beats:
+        Recovery hysteresis: a DEGRADED or DEAD emitter returns to
+        HEALTHY only after its instantaneous verdict has been clean for
+        this many consecutive beat intervals.  Without it a single
+        clean beat could flip a small miss window below threshold and
+        bounce the state (flapping the failover layer); 1 restores the
+        flip-on-first-clean-beat behaviour.
     """
 
     def __init__(
@@ -104,6 +114,7 @@ class ChannelHealthMonitor:
         dead_misses: int = 2,
         min_snr_margin_db: float = 3.0,
         liveness_slack: float | None = None,
+        recovery_beats: int = 2,
     ) -> None:
         if not emitters:
             raise ValueError("need at least one emitter")
@@ -111,6 +122,8 @@ class ChannelHealthMonitor:
             raise ValueError("period must be positive")
         if dead_misses < 1:
             raise ValueError("dead_misses must be >= 1")
+        if recovery_beats < 1:
+            raise ValueError("recovery_beats must be >= 1")
         if not 0.0 < degraded_miss_rate <= 1.0:
             raise ValueError("degraded_miss_rate must be in (0, 1]")
         self.controller = controller
@@ -119,6 +132,7 @@ class ChannelHealthMonitor:
         self.window_beats = window_beats
         self.degraded_miss_rate = degraded_miss_rate
         self.dead_misses = dead_misses
+        self.recovery_beats = recovery_beats
         self.min_snr_margin_db = min_snr_margin_db
         self.liveness_slack = (
             controller.listen_interval if liveness_slack is None
@@ -195,6 +209,18 @@ class ChannelHealthMonitor:
         for emitter in sorted(self.emitters):
             track = self._tracks[emitter]
             verdict, miss_rate, margin = self._classify(track, time)
+            if verdict is ChannelHealth.HEALTHY:
+                if track.state is not ChannelHealth.HEALTHY:
+                    # Recovery hysteresis: the clean verdict must hold
+                    # for recovery_beats whole beat intervals before the
+                    # DEGRADED/DEAD state is allowed to clear.
+                    if track.clean_since is None:
+                        track.clean_since = time
+                    sustained = time - track.clean_since
+                    if sustained < (self.recovery_beats - 1) * self.period - 1e-9:
+                        continue
+            else:
+                track.clean_since = None
             if verdict is not track.state:
                 transition = HealthTransition(
                     emitter=emitter,

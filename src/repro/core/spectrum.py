@@ -1,0 +1,728 @@
+"""Spectrum agility: move around interference instead of surrendering.
+
+The paper's frequency plan is static, yet §5/Fig 4b shows the acoustic
+environment is adversarial — a popular song in the room degrades
+detection.  PR 4's failover abandons the acoustic channel entirely when
+that happens; a self-healing audio system (arXiv:1511.08587) should
+instead *relocate*, and acoustic-data work like ChirpCast
+(arXiv:1508.07099) shows band selection is the dominant reliability
+lever.  This module closes that loop:
+
+* :class:`InterferenceSentinel` — estimates per-band occupancy from the
+  window spectra the detector already computes (tapped through
+  ``MDNController.add_spectrum_sink``; zero extra FFTs) and classifies
+  *persistent* interferers with hysteresis, so a transient burst or a
+  legitimate chirp duty cycle never triggers churn.
+* :func:`replan` — a minimal-diff solver relocating the allocations
+  overlapping interfered bands *and their desensitization shadow* (a
+  loud interferer makes the detector's sidelobe rejection drop real
+  tones up to ``SIDELOBE_RADIUS_HZ`` away), preserving the ≥ guard
+  spacing and per-device disjointness the plan grid enforces.
+* :class:`SpectrumAgilityManager` — a two-phase migration protocol
+  (PLAN_PREPARE / PLAN_COMMIT, rollback on deadline) over the existing
+  :class:`~repro.core.arq.MpArqSender` envelope.  During the handover
+  the controller listens on *both* old and new frequencies
+  (make-before-break) and detections carry the plan epoch, so zero
+  telemetry events are lost or misattributed across a commit.
+
+Known limitation: the sentinel does not mask the plan's own tones, so a
+*near-continuous* legitimate emitter (duty cycle above
+``on_fraction``) parked exactly on its own frequency would be
+classified as interference.  MDN chirps are short beats on long
+periods (duty well under 50%), which the default 92% persistence
+fraction can never reach; deployments with continuous carriers should
+raise ``on_fraction`` or pre-ban those slots.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from .. import obs
+from ..audio.detector import SIDELOBE_RADIUS_HZ
+from ..audio.signal import FULL_SCALE_DB
+from .arq import MpArqSender
+from .controller import MDNController
+from .frequency_plan import Allocation, FrequencyPlan, FrequencyPlanError
+from .protocol import (
+    PLAN_ABORT,
+    PLAN_COMMIT,
+    PLAN_PREPARE,
+    PlanControlMessage,
+)
+
+#: Callback signature for sentinel state changes:
+#: ``callback(newly_interfered, newly_clean, time)`` with slot sets.
+BandChangeCallback = Callable[[frozenset, frozenset, float], None]
+
+
+class InterferenceSentinel:
+    """Per-band interference classifier fed by detector spectra.
+
+    Each plan grid slot owns one guard-width band centred on its
+    frequency.  Every window, a band is *hot* when its peak magnitude
+    stands ``margin_db`` above the window's noise floor **and** above
+    ``min_level_db`` absolute.  A slot is classified INTERFERED when at
+    least ``on_fraction`` of the last ``persistence_windows`` windows
+    were hot (so a 27%-duty MDN chirp can't trip it), and returns to
+    clean only after ``clear_windows`` consecutive cool windows — both
+    directions are hysteretic, the replanner never chases a transient.
+
+    Parameters
+    ----------
+    plan:
+        The grid whose slots are monitored.
+    controller:
+        When given, the sentinel self-registers via
+        ``controller.add_spectrum_sink(self.observe)``.
+    margin_db:
+        Required prominence above the per-window noise floor.
+    min_level_db:
+        Absolute level floor for a hot band (matches the detector's
+        "at least 30 dB" rule; quieter energy can't mask detections).
+    persistence_windows:
+        Classification memory, in windows.
+    on_fraction:
+        Hot fraction of the memory needed to classify.
+    clear_windows:
+        Consecutive cool windows needed to declassify.
+    enabled:
+        When False, :meth:`observe` returns immediately — the
+        disabled path costs one attribute check and is gated bit-
+        identical in the perf suite.
+    """
+
+    def __init__(
+        self,
+        plan: FrequencyPlan,
+        controller: MDNController | None = None,
+        margin_db: float = 12.0,
+        min_level_db: float = 30.0,
+        persistence_windows: int = 12,
+        on_fraction: float = 0.92,
+        clear_windows: int = 15,
+        enabled: bool = True,
+    ) -> None:
+        if persistence_windows < 1:
+            raise ValueError("persistence_windows must be >= 1")
+        if not 0.0 < on_fraction <= 1.0:
+            raise ValueError("on_fraction must be in (0, 1]")
+        if clear_windows < 1:
+            raise ValueError("clear_windows must be >= 1")
+        self.plan = plan
+        self.margin_db = margin_db
+        self.min_level_db = min_level_db
+        self.persistence_windows = persistence_windows
+        self.on_fraction = on_fraction
+        self.clear_windows = clear_windows
+        self.enabled = enabled
+        self._needed = math.ceil(on_fraction * persistence_windows)
+        capacity = plan.capacity
+        # Band edges: slots tile the band contiguously at guard width,
+        # each centred on its grid frequency.
+        self._edges_hz = (
+            plan.low_hz - plan.guard_hz / 2.0
+            + np.arange(capacity + 1) * plan.guard_hz
+        )
+        self._bin_edges: np.ndarray | None = None
+        self._grid_key: tuple | None = None
+        self._history: deque[np.ndarray] = deque(maxlen=persistence_windows)
+        self._hot_counts = np.zeros(capacity, dtype=np.int32)
+        self._cool_streak = np.zeros(capacity, dtype=np.int32)
+        self._interfered: set[int] = set()
+        self.windows_seen = 0
+        self._subscribers: list[BandChangeCallback] = []
+        self._m_classified = obs.counter("spectrum.bands_classified")
+        self._m_cleared = obs.counter("spectrum.bands_cleared")
+        self._g_interfered = obs.gauge("spectrum.interfered_bands")
+        if controller is not None:
+            controller.add_spectrum_sink(self.observe)
+
+    # ------------------------------------------------------------------
+    # Queries / subscription
+    # ------------------------------------------------------------------
+
+    def interfered_slots(self) -> frozenset:
+        """Grid slots currently classified as interfered."""
+        return frozenset(self._interfered)
+
+    def interfered_frequencies(self) -> list[float]:
+        """Centre frequencies of the interfered slots, ascending."""
+        return [self.plan.slot_frequency(slot)
+                for slot in sorted(self._interfered)]
+
+    def on_change(self, callback: BandChangeCallback) -> None:
+        """Call ``callback(newly_interfered, newly_clean, time)`` on
+        every classification change."""
+        self._subscribers.append(callback)
+
+    # ------------------------------------------------------------------
+    # The spectrum tap
+    # ------------------------------------------------------------------
+
+    def observe(self, spectrum, time: float) -> None:
+        """Ingest one window spectrum (the detector's own)."""
+        if not self.enabled:
+            return
+        levels_db = self._band_levels_db(spectrum)
+        floor_db = spectrum.noise_floor_db()
+        hot = (
+            (levels_db >= floor_db + self.margin_db)
+            & (levels_db >= self.min_level_db)
+        )
+        self.windows_seen += 1
+        if len(self._history) == self._history.maxlen:
+            self._hot_counts -= self._history[0]
+        self._history.append(hot.astype(np.int32))
+        self._hot_counts += self._history[-1]
+        self._cool_streak = np.where(hot, 0, self._cool_streak + 1)
+
+        added: set[int] = set()
+        removed: set[int] = set()
+        if self.windows_seen >= self.persistence_windows:
+            for slot in np.flatnonzero(self._hot_counts >= self._needed):
+                slot = int(slot)
+                if slot not in self._interfered:
+                    self._interfered.add(slot)
+                    added.add(slot)
+        if self._interfered:
+            for slot in np.flatnonzero(self._cool_streak >= self.clear_windows):
+                slot = int(slot)
+                if slot in self._interfered:
+                    self._interfered.discard(slot)
+                    removed.add(slot)
+        if added or removed:
+            self._m_classified.inc(len(added))
+            self._m_cleared.inc(len(removed))
+            self._g_interfered.set(len(self._interfered))
+            for callback in self._subscribers:
+                callback(frozenset(added), frozenset(removed), time)
+
+    def _band_levels_db(self, spectrum) -> np.ndarray:
+        """Peak level per grid-slot band, dB SPL, one window."""
+        frequencies = spectrum.frequencies
+        grid_key = (
+            len(frequencies),
+            float(frequencies[0]) if len(frequencies) else 0.0,
+            float(frequencies[-1]) if len(frequencies) else 0.0,
+        )
+        if grid_key != self._grid_key:
+            # The analyzer's bin grid is constant across windows, so
+            # the band → bin mapping is computed once and reused.
+            self._bin_edges = np.searchsorted(frequencies, self._edges_hz)
+            self._grid_key = grid_key
+        edges = self._bin_edges
+        magnitudes = spectrum.magnitudes
+        # Bound the spectrum at the top band edge so reduceat's last
+        # segment cannot swallow everything up to Nyquist.
+        upper = int(min(edges[-1], len(magnitudes)))
+        if upper <= 0:
+            return np.full(len(edges) - 1, -400.0)
+        starts = np.minimum(edges[:-1], upper - 1)
+        peaks = np.maximum.reduceat(magnitudes[:upper], starts)
+        # reduceat yields a stray neighbour value for empty bands
+        # (edges[i] >= edges[i+1], or past the bounded range); silence
+        # them explicitly.
+        empty = (edges[:-1] >= edges[1:]) | (edges[:-1] >= upper)
+        if empty.any():
+            peaks = np.where(empty, 0.0, peaks)
+        return FULL_SCALE_DB + 20.0 * np.log10(np.maximum(peaks, 1e-12))
+
+
+# ----------------------------------------------------------------------
+# Replanning
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FrequencyMove:
+    """One allocation entry relocating to a clean slot."""
+
+    device: str
+    index: int
+    old_slot: int
+    new_slot: int
+    old_hz: float
+    new_hz: float
+
+
+def shadowed_slots(
+    plan: FrequencyPlan,
+    interfered_slots: Iterable[int],
+    shadow_hz: float,
+) -> frozenset:
+    """Slots within ``shadow_hz`` of any interfered slot's centre.
+
+    A loud interferer does not only occupy its own band: the detector's
+    sidelobe rejection (``SIDELOBE_RADIUS_HZ`` / ``SIDELOBE_REJECTION_DB``
+    in :mod:`repro.audio.detector`) drops any peak sitting within the
+    rejection radius of a much stronger one, so tones *near* the
+    interferer are desensitized even though their own band is clean.
+    The returned set includes the interfered slots themselves.
+    """
+    interfered = set(interfered_slots)
+    if not interfered:
+        return frozenset()
+    radius = int(shadow_hz // plan.guard_hz) if shadow_hz > 0 else 0
+    shadowed: set[int] = set()
+    for hot in interfered:
+        lo = max(0, hot - radius)
+        hi = min(plan.capacity - 1, hot + radius)
+        shadowed.update(range(lo, hi + 1))
+    return frozenset(shadowed)
+
+
+def replan(
+    plan: FrequencyPlan,
+    interfered_slots: Iterable[int],
+    banned_slots: Iterable[int] = (),
+    shadow_hz: float = 0.0,
+) -> tuple[FrequencyMove, ...]:
+    """Minimal-diff relocation of allocations out of interfered bands.
+
+    Entries sitting in an interfered slot — or, when ``shadow_hz`` is
+    positive, within the interferer's desensitization shadow (see
+    :func:`shadowed_slots`) — move; every other allocation is
+    untouched.  Targets are free grid slots outside the interfered,
+    shadowed, and banned sets, preferring slots whose immediate
+    neighbours are also clean, lowest-frequency first.  Raises
+    :class:`~repro.core.frequency_plan.FrequencyPlanError` when the
+    clean spectrum cannot absorb the displaced entries.
+    """
+    interfered = set(interfered_slots)
+    banned = set(banned_slots)
+    if not interfered:
+        return ()
+    blocked = set(shadowed_slots(plan, interfered, shadow_hz)) | interfered
+    candidates = [
+        slot for slot in plan.free_slots()
+        if slot not in blocked and slot not in banned
+    ]
+    preferred = [
+        slot for slot in candidates
+        if (slot - 1) not in blocked and (slot + 1) not in blocked
+    ]
+    fallback = [slot for slot in candidates if slot not in set(preferred)]
+    queue = preferred + fallback
+    taken: set[int] = set()
+    moves: list[FrequencyMove] = []
+    for device in plan.devices():
+        allocation = plan.allocation_of(device)
+        for index, frequency in enumerate(allocation.frequencies):
+            old_slot = plan.slot_of(frequency)
+            if old_slot not in blocked:
+                continue
+            target = next(
+                (slot for slot in queue if slot not in taken), None
+            )
+            if target is None:
+                raise FrequencyPlanError(
+                    f"no clean slot left for {device!r}[{index}] "
+                    f"({frequency} Hz): {len(interfered)} slots interfered, "
+                    f"{len(blocked)} blocked with shadow"
+                )
+            taken.add(target)
+            moves.append(FrequencyMove(
+                device=device,
+                index=index,
+                old_slot=old_slot,
+                new_slot=target,
+                old_hz=frequency,
+                new_hz=plan.slot_frequency(target),
+            ))
+    return tuple(moves)
+
+
+# ----------------------------------------------------------------------
+# Migration participants (phase 2 executors, one per device)
+# ----------------------------------------------------------------------
+
+
+class LocalPlanParticipant:
+    """In-process participant for devices driven without a Pi link.
+
+    PREPARE acknowledges after ``prepare_delay`` (immediately by
+    default) unless ``fail_prepare`` is set, which models a wedged
+    device: the manager's deadline then fires and the migration rolls
+    back.  COMMIT invokes every ``on_commit`` callback with the
+    device's fresh :class:`~repro.core.frequency_plan.Allocation` — the
+    hook tone-mapped apps rebind through.
+    """
+
+    def __init__(
+        self,
+        sim,
+        device: str,
+        on_commit: Iterable[Callable[[Allocation], None]] = (),
+        prepare_delay: float = 0.0,
+        fail_prepare: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.on_commit = list(on_commit)
+        self.prepare_delay = prepare_delay
+        self.fail_prepare = fail_prepare
+        self.staged_epoch: int | None = None
+        self.committed_epochs: list[int] = []
+        self.aborted_epochs: list[int] = []
+
+    def prepare(self, message: PlanControlMessage,
+                on_ready: Callable[[str], None],
+                on_fail: Callable[[str], None]) -> None:
+        if self.fail_prepare:
+            return  # silence: the manager's deadline handles it
+        def _ready() -> None:
+            self.staged_epoch = message.epoch
+            on_ready(self.device)
+        if self.prepare_delay > 0:
+            self.sim.schedule_at(self.sim.now + self.prepare_delay, _ready)
+        else:
+            _ready()
+
+    def commit(self, message: PlanControlMessage,
+               allocation: Allocation) -> None:
+        self.staged_epoch = None
+        self.committed_epochs.append(message.epoch)
+        for callback in self.on_commit:
+            callback(allocation)
+
+    def abort(self, message: PlanControlMessage) -> None:
+        self.staged_epoch = None
+        self.aborted_epochs.append(message.epoch)
+
+
+class PiPlanParticipant:
+    """Participant whose phases travel as real bytes to a Pi host.
+
+    PREPARE / COMMIT / ABORT frames ride the
+    :class:`~repro.core.arq.MpArqSender` envelope (``b"MD" + seq`` +
+    :class:`~repro.core.protocol.PlanControlMessage` wire) to the Pi,
+    which stages moves on PREPARE and applies them on COMMIT —
+    rebinding only when the commit actually *reaches* the device, like
+    the testbed would.  The ARQ ACK of the PREPARE frame is the phase-1
+    vote; an expired PREPARE reports failure and the manager rolls
+    back.
+    """
+
+    def __init__(
+        self,
+        sender: MpArqSender,
+        device: str,
+        allocation: Allocation,
+        on_commit: Iterable[Callable[[Allocation], None]] = (),
+    ) -> None:
+        self.sender = sender
+        self.device = device
+        self.allocation = allocation
+        self.on_commit = list(on_commit)
+        self.committed_epochs: list[int] = []
+        self._staged: tuple[int, tuple] | None = None
+        sender.bridge.pi.plan_handler = self._handle_frame
+
+    # Controller side ---------------------------------------------------
+
+    def prepare(self, message: PlanControlMessage,
+                on_ready: Callable[[str], None],
+                on_fail: Callable[[str], None]) -> None:
+        self.sender.send_wire(
+            message.marshal(),
+            on_ack=lambda _seq, _latency: on_ready(self.device),
+            on_expire=lambda _seq: on_fail(self.device),
+        )
+
+    def commit(self, message: PlanControlMessage,
+               allocation: Allocation) -> None:
+        # The fresh allocation is recomputed Pi-side from the staged
+        # moves when the COMMIT frame arrives; the controller-side copy
+        # is ignored on purpose (the wire is the source of truth).
+        self.sender.send_wire(message.marshal())
+
+    def abort(self, message: PlanControlMessage) -> None:
+        self.sender.send_wire(message.marshal())
+
+    # Pi side -----------------------------------------------------------
+
+    def _handle_frame(self, message: PlanControlMessage) -> bool:
+        if message.phase == PLAN_PREPARE:
+            self._staged = (message.epoch, message.moves)
+            return True
+        if message.phase == PLAN_COMMIT:
+            moves = message.moves
+            if not moves and self._staged is not None \
+                    and self._staged[0] == message.epoch:
+                moves = self._staged[1]
+            index_moves = {index: new_hz for index, _old, new_hz in moves}
+            if index_moves:
+                self.allocation = self.allocation.moved(index_moves)
+            self._staged = None
+            self.committed_epochs.append(message.epoch)
+            for callback in self.on_commit:
+                callback(self.allocation)
+            return True
+        if message.phase == PLAN_ABORT:
+            self._staged = None
+            return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# The migration manager
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One completed (or rolled-back) migration attempt."""
+
+    epoch: int
+    status: str                       #: ``"committed"`` or ``"aborted"``
+    classified_at: float
+    resolved_at: float
+    moves: tuple[FrequencyMove, ...]
+    reason: str = ""
+
+    @property
+    def latency(self) -> float:
+        return self.resolved_at - self.classified_at
+
+
+@dataclass
+class _ActiveMigration:
+    """In-flight two-phase state."""
+
+    epoch: int
+    classified_at: float
+    moves: tuple[FrequencyMove, ...]
+    by_device: dict[str, tuple[FrequencyMove, ...]]
+    ready: set[str] = field(default_factory=set)
+    resolved: bool = False
+    recheck: bool = False
+
+
+class SpectrumAgilityManager:
+    """Closed-loop coordinator: sentinel → replanner → 2-phase commit.
+
+    When the sentinel classifies new interference overlapping any
+    allocation, the manager computes a minimal-diff plan, immediately
+    extends the controller's watch list with the target frequencies
+    (make-before-break: the listener is live on the new tones before
+    any emitter can switch), PREPAREs every affected participant, and
+    COMMITs once all have voted ready.  A participant that misses the
+    ``prepare_timeout`` deadline aborts the round — ABORT frames go to
+    the ready participants, the extra watch is retracted, and the
+    attempt retries after ``retry_backoff``.
+
+    Parameters
+    ----------
+    controller, plan, sentinel:
+        The listening controller, the live plan, and the classifier
+        (the manager subscribes to its change feed).
+    handover:
+        Make-before-break window: how long the controller keeps
+        listening on vacated frequencies after COMMIT.  Defaults to 4
+        listening intervals — enough for a tone started just before
+        commit plus ARQ delivery of the COMMIT frame.
+    prepare_timeout:
+        Phase-1 deadline, seconds.
+    retry_backoff:
+        Delay before re-attempting after a rollback.
+    shadow_hz:
+        Desensitization radius around interfered bands: allocations
+        within it are relocated too, and target slots must clear it.
+        Defaults to the detector's sidelobe-rejection radius — a loud
+        interferer masks watched tones that far out even though their
+        own bands carry no interference energy.
+    """
+
+    def __init__(
+        self,
+        controller: MDNController,
+        plan: FrequencyPlan,
+        sentinel: InterferenceSentinel,
+        handover: float | None = None,
+        prepare_timeout: float = 1.0,
+        retry_backoff: float = 2.0,
+        shadow_hz: float = SIDELOBE_RADIUS_HZ,
+    ) -> None:
+        if prepare_timeout <= 0:
+            raise ValueError("prepare_timeout must be positive")
+        self.controller = controller
+        self.plan = plan
+        self.sentinel = sentinel
+        self.handover = (
+            4 * controller.listen_interval if handover is None else handover
+        )
+        self.prepare_timeout = prepare_timeout
+        self.retry_backoff = retry_backoff
+        self.shadow_hz = shadow_hz
+        self.sim = controller.sim
+        self.participants: dict[str, object] = {}
+        self.records: list[MigrationRecord] = []
+        self._active: _ActiveMigration | None = None
+        self._m_committed = obs.counter("spectrum.migrations_committed")
+        self._m_aborted = obs.counter("spectrum.migrations_aborted")
+        self._m_unplannable = obs.counter("spectrum.replans_unplannable")
+        self._g_epoch = obs.gauge("spectrum.plan_epoch")
+        self._obs = obs.get_registry()
+        if self._obs is not None:
+            self._m_latency_ms = self._obs.histogram(
+                "spectrum.migration_latency_ms"
+            )
+        sentinel.on_change(self._on_bands_changed)
+
+    def add_participant(self, device: str, participant) -> None:
+        """Register the phase executor for ``device``.  Devices without
+        one get an implicit always-ready local participant (their
+        symbol maps live controller-side only)."""
+        self.participants[device] = participant
+
+    # ------------------------------------------------------------------
+    # Trigger
+    # ------------------------------------------------------------------
+
+    def _on_bands_changed(self, added: frozenset, removed: frozenset,
+                          time: float) -> None:
+        if added:
+            self._maybe_migrate(time)
+
+    def _maybe_migrate(self, classified_at: float) -> None:
+        if self._active is not None:
+            self._active.recheck = True
+            return
+        try:
+            moves = replan(self.plan, self.sentinel.interfered_slots(),
+                           shadow_hz=self.shadow_hz)
+        except FrequencyPlanError:
+            self._m_unplannable.inc()
+            return
+        if not moves:
+            return
+        epoch = self.plan.epoch + 1
+        by_device: dict[str, list[FrequencyMove]] = {}
+        for move in moves:
+            by_device.setdefault(move.device, []).append(move)
+        state = _ActiveMigration(
+            epoch=epoch,
+            classified_at=classified_at,
+            moves=moves,
+            by_device={device: tuple(ms) for device, ms in by_device.items()},
+        )
+        self._active = state
+        # Make-before-break: listen on the targets before anyone emits
+        # there, so a tone played the instant after COMMIT is heard.
+        self.controller.extend_watch([move.new_hz for move in moves])
+        for device, device_moves in state.by_device.items():
+            message = PlanControlMessage(
+                PLAN_PREPARE, epoch,
+                tuple((m.index, m.old_hz, m.new_hz) for m in device_moves),
+            )
+            self._participant_for(device).prepare(
+                message, self._on_ready, self._on_prepare_fail
+            )
+        self.sim.schedule_at(
+            self.sim.now + self.prepare_timeout, self._on_deadline, state
+        )
+
+    def _participant_for(self, device: str):
+        participant = self.participants.get(device)
+        if participant is None:
+            participant = LocalPlanParticipant(self.sim, device)
+            self.participants[device] = participant
+        return participant
+
+    # ------------------------------------------------------------------
+    # Phase resolution
+    # ------------------------------------------------------------------
+
+    def _on_ready(self, device: str) -> None:
+        state = self._active
+        if state is None or state.resolved:
+            return
+        state.ready.add(device)
+        if state.ready >= set(state.by_device):
+            self._commit(state)
+
+    def _on_prepare_fail(self, device: str) -> None:
+        state = self._active
+        if state is None or state.resolved:
+            return
+        self._rollback(state, f"prepare lost to {device!r}")
+
+    def _on_deadline(self, state: _ActiveMigration) -> None:
+        if state is not self._active or state.resolved:
+            return
+        missing = sorted(set(state.by_device) - state.ready)
+        self._rollback(state, f"prepare deadline: {missing} never voted")
+
+    def _commit(self, state: _ActiveMigration) -> None:
+        state.resolved = True
+        fresh = self.plan.apply_moves(
+            (move.device, move.index, move.new_slot) for move in state.moves
+        )
+        epoch = self.plan.epoch
+        self.controller.migrate_watch(
+            {move.old_hz: move.new_hz for move in state.moves},
+            epoch, self.handover,
+        )
+        for device, device_moves in state.by_device.items():
+            message = PlanControlMessage(
+                PLAN_COMMIT, epoch,
+                tuple((m.index, m.old_hz, m.new_hz) for m in device_moves),
+            )
+            self._participant_for(device).commit(message, fresh[device])
+        now = self.sim.now
+        record = MigrationRecord(
+            epoch=epoch,
+            status="committed",
+            classified_at=state.classified_at,
+            resolved_at=now,
+            moves=state.moves,
+        )
+        self.records.append(record)
+        self._m_committed.inc()
+        self._g_epoch.set(epoch)
+        if self._obs is not None:
+            self._m_latency_ms.observe(record.latency * 1e3)
+        self._active = None
+        if state.recheck:
+            self.sim.schedule_at(now, self._maybe_migrate, now)
+
+    def _rollback(self, state: _ActiveMigration, reason: str) -> None:
+        state.resolved = True
+        message = PlanControlMessage(PLAN_ABORT, state.epoch)
+        for device in sorted(state.ready):
+            self._participant_for(device).abort(message)
+        self.controller.retract_watch(
+            [move.new_hz for move in state.moves]
+        )
+        now = self.sim.now
+        self.records.append(MigrationRecord(
+            epoch=state.epoch,
+            status="aborted",
+            classified_at=state.classified_at,
+            resolved_at=now,
+            moves=state.moves,
+            reason=reason,
+        ))
+        self._m_aborted.inc()
+        self._active = None
+        self.sim.schedule_at(
+            now + self.retry_backoff, self._maybe_migrate, now,
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def migrations_committed(self) -> int:
+        return sum(1 for r in self.records if r.status == "committed")
+
+    @property
+    def migrations_aborted(self) -> int:
+        return sum(1 for r in self.records if r.status == "aborted")

@@ -55,6 +55,14 @@ from .xext12 import (
     resilience_experiment,
     resilience_sweep,
 )
+from .xext13 import (
+    PolicyResult,
+    SweepPoint,
+    Xext13Result,
+    bandwidth_sweep,
+    spectrum_agility_experiment,
+    spectrum_agility_run,
+)
 from .xcap import (
     BackendComparison,
     ConcurrencyPoint,
@@ -117,6 +125,12 @@ __all__ = [
     "resilience_experiment",
     "resilience_sweep",
     "sketch_vs_mdn",
+    "spectrum_agility_experiment",
+    "spectrum_agility_run",
     "superspreader_experiment",
     "ultrasound_experiment",
+    "PolicyResult",
+    "SweepPoint",
+    "Xext13Result",
+    "bandwidth_sweep",
 ]

@@ -97,6 +97,86 @@ class TestAllocationObject:
         assert len(FrequencyPlan().allocate("s1", 7)) == 7
 
 
+class TestToleranceLookup:
+    def test_index_of_accepts_fft_quantized_frequency(self):
+        # The detector reports bin-centre frequencies: on the 5 Hz FFT
+        # grid a 523 Hz assignment comes back as 525 Hz.  Lookups must
+        # tolerate anything within half a guard band.
+        plan = FrequencyPlan(low_hz=523.0, guard_hz=20.0)
+        alloc = plan.allocate("s1", 3)
+        assert alloc.index_of(525.0) == 0
+        assert alloc.index_of(540.0) == 1
+        assert alloc.index_of(523.0 + 2 * 20.0 - 4.9) == 2
+
+    def test_index_of_rejects_out_of_tolerance(self):
+        alloc = FrequencyPlan(low_hz=500.0, guard_hz=20.0).allocate("s1", 2)
+        with pytest.raises(ValueError):
+            alloc.index_of(531.0)   # beyond guard/2 of both entries
+
+    def test_index_of_exact_mode(self):
+        alloc = FrequencyPlan(low_hz=500.0, guard_hz=20.0).allocate("s1", 2)
+        assert alloc.index_of(500.0, tolerance_hz=0.0) == 0
+        with pytest.raises(ValueError):
+            alloc.index_of(500.1, tolerance_hz=0.0)
+
+    def test_owner_of_tolerant(self):
+        plan = FrequencyPlan(low_hz=500.0, guard_hz=20.0)
+        plan.allocate("s1", 2)
+        plan.allocate("s2", 2)
+        assert plan.owner_of(504.9) == "s1"
+        assert plan.owner_of(544.9) == "s2"
+        assert plan.owner_of(575.0) is None       # past every entry
+        assert plan.owner_of(504.9, tolerance_hz=0.0) is None
+
+
+class TestReleaseAndReuse:
+    def test_release_frees_slots_for_reuse(self):
+        plan = FrequencyPlan(low_hz=500.0, guard_hz=20.0)
+        first = plan.allocate("a", 3)
+        plan.allocate("b", 2)
+        plan.release("a")
+        assert plan.owner_of(first.frequency_for(0)) is None
+        again = plan.allocate("c", 3)
+        # Lowest free slots are reused, so "c" lands where "a" was.
+        assert again.frequencies == first.frequencies
+        plan.validate_disjoint()
+
+    def test_release_unknown_device_raises(self):
+        with pytest.raises(FrequencyPlanError):
+            FrequencyPlan().release("ghost")
+
+    def test_release_updates_accounting(self):
+        plan = FrequencyPlan(low_hz=500.0, high_hz=580.0, guard_hz=20.0)
+        plan.allocate("a", 3)
+        assert plan.remaining == 2
+        plan.release("a")
+        assert plan.remaining == 5
+        assert plan.allocated_count == 0
+        assert "a" not in plan.devices()
+
+
+class TestApplyMoves:
+    def test_moves_bump_epoch_and_rebuild(self):
+        plan = FrequencyPlan(low_hz=500.0, guard_hz=20.0)
+        plan.allocate("a", 2)                       # slots 0, 1
+        fresh = plan.apply_moves([("a", 1, 5)])
+        assert plan.epoch == 1
+        assert fresh["a"].frequencies == (500.0, plan.slot_frequency(5))
+        assert plan.owner_of(plan.slot_frequency(5)) == "a"
+        assert plan.owner_of(520.0) is None
+        plan.validate_disjoint()
+
+    def test_move_to_occupied_slot_rejected_atomically(self):
+        plan = FrequencyPlan(low_hz=500.0, guard_hz=20.0)
+        plan.allocate("a", 2)
+        plan.allocate("b", 2)                       # slots 2, 3
+        with pytest.raises(FrequencyPlanError):
+            plan.apply_moves([("a", 0, 9), ("a", 1, 2)])
+        # The valid first move must not have leaked through.
+        assert plan.epoch == 0
+        assert plan.allocation_of("a").frequencies == (500.0, 520.0)
+
+
 class TestProperties:
     @settings(max_examples=50, deadline=None)
     @given(
@@ -122,3 +202,27 @@ class TestProperties:
         plan.allocate("dev", count)
         assert plan.remaining == before - count
         assert plan.allocated_count == count
+
+    @settings(max_examples=50, deadline=None)
+    @given(ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=7),
+                  st.integers(min_value=1, max_value=6)),
+        min_size=1, max_size=40,
+    ))
+    def test_allocate_release_never_violates_grid(self, ops):
+        """Random interleaved allocate/release churn always leaves
+        every pair of live frequencies >= guard apart and disjoint."""
+        plan = FrequencyPlan(low_hz=300.0, high_hz=900.0, guard_hz=20.0)
+        live: set[str] = set()
+        for is_alloc, slot_id, count in ops:
+            device = f"dev{slot_id}"
+            if is_alloc and device not in live:
+                if plan.remaining >= count:
+                    plan.allocate(device, count)
+                    live.add(device)
+            elif not is_alloc and device in live:
+                plan.release(device)
+                live.discard(device)
+            plan.validate_disjoint()
+            assert plan.allocated_count == sum(
+                len(plan.allocation_of(d)) for d in live)

@@ -112,6 +112,64 @@ class TestLiveness:
         assert states[-1] is ChannelHealth.HEALTHY
 
 
+class TestRecoveryHysteresis:
+    """DEGRADED/DEAD -> HEALTHY requires a *sustained* clean verdict."""
+
+    def _degrade_then_recover(self, controller, monitor):
+        """Beat, two misses (-> DEGRADED), then steady beats again.
+        Returns the grid times of the recovery-phase windows."""
+        _beat(controller, 0.5)
+        controller.window_cb([], 2.6)       # slots 1, 2 missed
+        assert monitor.state_of("dev") is ChannelHealth.DEGRADED
+        for beat in range(3, 8):
+            _beat(controller, 0.5 + beat * PERIOD)
+            controller.window_cb([], 0.5 + beat * PERIOD + 0.1)
+
+    def test_single_clean_window_does_not_restore(self):
+        controller, monitor = _monitor(window_beats=4)
+        _beat(controller, 0.5)
+        controller.window_cb([], 2.6)
+        assert monitor.state_of("dev") is ChannelHealth.DEGRADED
+        for beat in range(3, 7):
+            _beat(controller, 0.5 + beat * PERIOD)
+        # First window with a clean verdict (miss rate back under the
+        # threshold): the default recovery_beats=2 must hold the line.
+        controller.window_cb([], 6.6)
+        assert monitor.state_of("dev") is ChannelHealth.DEGRADED
+
+    def test_sustained_clean_verdict_restores(self):
+        controller, monitor = _monitor(window_beats=4)
+        self._degrade_then_recover(controller, monitor)
+        assert monitor.state_of("dev") is ChannelHealth.HEALTHY
+        states = [t.state for t in monitor.transitions]
+        assert states == [ChannelHealth.DEGRADED, ChannelHealth.HEALTHY]
+
+    def test_recovery_beats_one_restores_immediately(self):
+        controller, monitor = _monitor(window_beats=4, recovery_beats=1)
+        _beat(controller, 0.5)
+        controller.window_cb([], 2.6)
+        assert monitor.state_of("dev") is ChannelHealth.DEGRADED
+        for beat in range(3, 7):
+            _beat(controller, 0.5 + beat * PERIOD)
+        controller.window_cb([], 6.6)
+        assert monitor.state_of("dev") is ChannelHealth.HEALTHY
+
+    def test_longer_hysteresis_waits_longer(self):
+        controller, monitor = _monitor(window_beats=4, recovery_beats=3)
+        self._degrade_then_recover(controller, monitor)
+        # Clean verdicts begin at 6.6; two whole periods are required,
+        # so the 7.6 window (one period sustained) still holds DEGRADED.
+        assert monitor.state_of("dev") is ChannelHealth.DEGRADED
+        for beat in range(8, 10):
+            _beat(controller, 0.5 + beat * PERIOD)
+            controller.window_cb([], 0.5 + beat * PERIOD + 0.1)
+        assert monitor.state_of("dev") is ChannelHealth.HEALTHY
+
+    def test_recovery_beats_validated(self):
+        with pytest.raises(ValueError):
+            _monitor(recovery_beats=0)
+
+
 class TestDegradation:
     def test_missed_beats_degrade(self):
         controller, monitor = _monitor(window_beats=10,

@@ -1,0 +1,313 @@
+"""Spectrum agility: sentinel classification, shadow-aware replanning,
+and the two-phase migration protocol."""
+
+import numpy as np
+import pytest
+
+from repro.audio.fft import Spectrum
+from repro.audio.signal import db_to_amplitude
+from repro.core import (
+    FrequencyPlan,
+    FrequencyPlanError,
+    InterferenceSentinel,
+    LocalPlanParticipant,
+    MpArqSender,
+    PiBridge,
+    PiPlanParticipant,
+    SpectrumAgilityManager,
+    replan,
+    shadowed_slots,
+)
+from tests.core.rig import build_rig
+
+SAMPLE_RATE = 16_000
+
+
+def make_spectrum(hot_bands=(), floor_db=18.0, level_db=70.0) -> Spectrum:
+    """A synthetic 5 Hz-grid spectrum: flat floor plus hot intervals."""
+    frequencies = np.arange(0.0, 2000.0, 5.0)
+    magnitudes = np.full(len(frequencies), db_to_amplitude(floor_db))
+    for low, high in hot_bands:
+        mask = (frequencies >= low) & (frequencies <= high)
+        magnitudes[mask] = db_to_amplitude(level_db)
+    return Spectrum(frequencies, magnitudes, SAMPLE_RATE, 0.1)
+
+
+def make_sentinel(plan, **kwargs):
+    defaults = dict(persistence_windows=5, on_fraction=0.8, clear_windows=3)
+    defaults.update(kwargs)
+    return InterferenceSentinel(plan, **defaults)
+
+
+class TestInterferenceSentinel:
+    def test_persistent_interferer_classified(self):
+        plan = FrequencyPlan(low_hz=400.0, high_hz=600.0)
+        sentinel = make_sentinel(plan)
+        changes = []
+        sentinel.on_change(lambda a, r, t: changes.append((a, r, t)))
+        hot = make_spectrum(hot_bands=[(415.0, 445.0)])
+        for window in range(4):
+            sentinel.observe(hot, window * 0.1)
+            assert not sentinel.interfered_slots()
+        sentinel.observe(hot, 0.4)
+        assert sentinel.interfered_slots() == {1, 2}
+        (added, removed, time), = changes
+        assert added == {1, 2} and not removed and time == 0.4
+
+    def test_transient_burst_ignored(self):
+        plan = FrequencyPlan(low_hz=400.0, high_hz=600.0)
+        sentinel = make_sentinel(plan)
+        hot = make_spectrum(hot_bands=[(415.0, 445.0)])
+        cool = make_spectrum()
+        for window in range(3):
+            sentinel.observe(hot, window * 0.1)
+        for window in range(20):
+            sentinel.observe(cool, 0.3 + window * 0.1)
+        assert not sentinel.interfered_slots()
+
+    def test_chirp_duty_cycle_ignored(self):
+        # A legitimate beat: one hot window in four can never reach the
+        # 80% on-fraction, no matter how long it repeats.
+        plan = FrequencyPlan(low_hz=400.0, high_hz=600.0)
+        sentinel = make_sentinel(plan)
+        hot = make_spectrum(hot_bands=[(415.0, 425.0)])
+        cool = make_spectrum()
+        for cycle in range(20):
+            sentinel.observe(hot, cycle * 0.4)
+            for step in range(3):
+                sentinel.observe(cool, cycle * 0.4 + (step + 1) * 0.1)
+        assert not sentinel.interfered_slots()
+
+    def test_clears_after_sustained_quiet(self):
+        plan = FrequencyPlan(low_hz=400.0, high_hz=600.0)
+        sentinel = make_sentinel(plan)
+        changes = []
+        sentinel.on_change(lambda a, r, t: changes.append((a, r)))
+        hot = make_spectrum(hot_bands=[(415.0, 425.0)])
+        cool = make_spectrum()
+        for window in range(5):
+            sentinel.observe(hot, window * 0.1)
+        assert sentinel.interfered_slots() == {1}
+        sentinel.observe(cool, 0.5)
+        sentinel.observe(cool, 0.6)
+        assert sentinel.interfered_slots() == {1}  # hysteresis holds
+        sentinel.observe(cool, 0.7)
+        assert not sentinel.interfered_slots()
+        assert changes[-1] == (frozenset(), frozenset({1}))
+
+    def test_quiet_band_below_min_level_never_hot(self):
+        plan = FrequencyPlan(low_hz=400.0, high_hz=600.0)
+        sentinel = make_sentinel(plan, margin_db=6.0, min_level_db=40.0)
+        # 25 dB above an 8 dB floor: prominent but too quiet to mask.
+        faint = make_spectrum(hot_bands=[(415.0, 425.0)],
+                              floor_db=8.0, level_db=33.0)
+        for window in range(10):
+            sentinel.observe(faint, window * 0.1)
+        assert not sentinel.interfered_slots()
+
+    def test_disabled_sentinel_observes_nothing(self):
+        plan = FrequencyPlan(low_hz=400.0, high_hz=600.0)
+        sentinel = make_sentinel(plan, enabled=False)
+        hot = make_spectrum(hot_bands=[(415.0, 445.0)])
+        for window in range(10):
+            sentinel.observe(hot, window * 0.1)
+        assert sentinel.windows_seen == 0
+        assert not sentinel.interfered_slots()
+
+
+class TestReplan:
+    def test_no_interference_no_moves(self):
+        plan = FrequencyPlan(low_hz=400.0, high_hz=600.0)
+        plan.allocate("dev", 3)
+        assert replan(plan, ()) == ()
+
+    def test_minimal_diff_moves_only_interfered(self):
+        plan = FrequencyPlan(low_hz=400.0, high_hz=600.0)
+        a = plan.allocate("a", 2)      # slots 0, 1
+        plan.allocate("b", 2)          # slots 2, 3
+        moves = replan(plan, {1})
+        assert len(moves) == 1
+        (move,) = moves
+        assert move.device == "a"
+        assert move.old_hz == a.frequency_for(1)
+        assert move.new_slot not in {0, 1, 2, 3}
+        assert plan.is_slot_free(move.new_slot)
+
+    def test_targets_prefer_clean_neighbours(self):
+        plan = FrequencyPlan(low_hz=400.0, high_hz=600.0)
+        plan.allocate("a", 2)          # slots 0, 1
+        moves = replan(plan, {1})
+        (move,) = moves
+        # Slot 2 borders the interfered slot 1; slot 3 is the first
+        # target with clean neighbours on both sides.
+        assert move.new_slot == 3
+
+    def test_shadow_relocates_desensitized_neighbours(self):
+        plan = FrequencyPlan(low_hz=400.0, high_hz=2000.0)
+        plan.allocate("a", 4)          # slots 0..3 (400..460 Hz)
+        moves = replan(plan, {1}, shadow_hz=40.0)
+        # Slot 1 interfered; slots 0..3 all sit within 40 Hz of it.
+        assert {m.old_slot for m in moves} == {0, 1, 2, 3}
+        # Targets must clear the shadow too: centre distance > 40 Hz
+        # from slot 1 (420 Hz), i.e. slot 4 (480 Hz) onward.
+        assert all(m.new_slot >= 4 for m in moves)
+        new_slots = [m.new_slot for m in moves]
+        assert len(set(new_slots)) == len(new_slots)
+
+    def test_shadowed_slots_radius(self):
+        plan = FrequencyPlan(low_hz=400.0, high_hz=2000.0)
+        shadow = shadowed_slots(plan, {10}, 120.0)
+        assert shadow == set(range(4, 17))
+        assert shadowed_slots(plan, (), 120.0) == frozenset()
+        assert shadowed_slots(plan, {0}, 0.0) == {0}
+
+    def test_exhausted_spectrum_raises(self):
+        plan = FrequencyPlan(low_hz=400.0, high_hz=480.0)  # 5 slots
+        plan.allocate("a", 4)
+        with pytest.raises(FrequencyPlanError):
+            replan(plan, {0}, shadow_hz=100.0)
+
+
+def _jam_slots(sentinel, plan, slots, windows=6):
+    low = min(plan.slot_frequency(s) for s in slots) - 5.0
+    high = max(plan.slot_frequency(s) for s in slots) + 5.0
+    hot = make_spectrum(hot_bands=[(low, high)])
+    for window in range(windows):
+        sentinel.observe(hot, window * 0.1)
+
+
+class TestSpectrumAgilityManager:
+    def test_local_commit_end_to_end(self):
+        rig = build_rig()
+        allocation = rig.plan.allocate("dev", 2)   # 400, 420 Hz
+        rig.controller.watch(list(allocation.frequencies),
+                             on_onset=lambda event: None)
+        sentinel = make_sentinel(rig.plan)
+        manager = SpectrumAgilityManager(
+            rig.controller, rig.plan, sentinel, prepare_timeout=0.5,
+        )
+        committed = []
+        manager.add_participant("dev", LocalPlanParticipant(
+            rig.sim, "dev", on_commit=[committed.append]))
+
+        _jam_slots(sentinel, rig.plan, {1})
+        assert manager.migrations_committed == 1
+        assert rig.plan.epoch == 1
+        assert rig.controller.epoch == 1
+        (fresh,) = committed
+        assert fresh == rig.plan.allocation_of("dev")
+        # With the default 120 Hz shadow both original slots moved.
+        record = manager.records[0]
+        assert {m.old_slot for m in record.moves} == {0, 1}
+        watched = set(rig.controller.live_frequencies)
+        for move in record.moves:
+            assert move.new_hz in watched
+            assert abs(move.new_hz - rig.plan.slot_frequency(1)) > 120.0
+
+    def test_rollback_on_deadline_then_retry(self):
+        rig = build_rig()
+        rig.plan.allocate("dev", 2)
+        sentinel = make_sentinel(rig.plan)
+        manager = SpectrumAgilityManager(
+            rig.controller, rig.plan, sentinel,
+            prepare_timeout=0.3, retry_backoff=0.5,
+        )
+        participant = LocalPlanParticipant(
+            rig.sim, "dev", fail_prepare=True)
+        manager.add_participant("dev", participant)
+        before = set(rig.controller.live_frequencies)
+
+        _jam_slots(sentinel, rig.plan, {1})
+        rig.sim.run(0.4)
+        assert manager.migrations_aborted == 1
+        assert manager.migrations_committed == 0
+        assert rig.plan.epoch == 0
+        assert "deadline" in manager.records[0].reason
+        # Make-before-break watch extension was retracted.
+        assert set(rig.controller.live_frequencies) == before
+
+        participant.fail_prepare = False
+        rig.sim.run(1.5)      # retry_backoff elapses, retry commits
+        assert manager.migrations_committed == 1
+        assert rig.plan.epoch == 1
+
+    def test_pi_participant_commits_over_arq(self):
+        rig = build_rig()
+        allocation = rig.plan.allocate("dev", 2)
+        sentinel = make_sentinel(rig.plan)
+        manager = SpectrumAgilityManager(
+            rig.controller, rig.plan, sentinel, prepare_timeout=0.5,
+        )
+        bridge = PiBridge(rig.sim, rig.topo.switches["s1"],
+                          rig.agents["s1"])
+        sender = MpArqSender(bridge)
+        rebinds = []
+        participant = PiPlanParticipant(
+            sender, "dev", allocation, on_commit=[rebinds.append])
+        manager.add_participant("dev", participant)
+
+        _jam_slots(sentinel, rig.plan, {1})
+        rig.sim.run(1.0)      # PREPARE + ACK + COMMIT ride the wire
+        assert manager.migrations_committed == 1
+        assert participant.committed_epochs == [1]
+        assert bridge.pi.plan_handled.total == 2   # PREPARE + COMMIT
+        (fresh,) = rebinds
+        assert fresh == participant.allocation
+        assert tuple(fresh.frequencies) == tuple(
+            rig.plan.allocation_of("dev").frequencies)
+
+    def test_unplannable_interference_counted_not_crashed(self):
+        rig = build_rig()
+        # Fill the whole grid so no clean slot can absorb a move.
+        plan = FrequencyPlan(low_hz=400.0, high_hz=480.0)
+        plan.allocate("dev", plan.capacity)
+        sentinel = make_sentinel(plan)
+        manager = SpectrumAgilityManager(
+            rig.controller, plan, sentinel, prepare_timeout=0.5,
+        )
+        _jam_slots(sentinel, plan, {2})
+        assert manager.migrations_committed == 0
+        assert manager.migrations_aborted == 0
+        assert plan.epoch == 0
+
+
+class TestMakeBeforeBreakWatch:
+    def test_extend_and_retract(self):
+        rig = build_rig()
+        rig.controller.watch([500.0], on_onset=lambda event: None)
+        rig.controller.extend_watch([900.0, 940.0])
+        assert {900.0, 940.0} <= set(rig.controller.live_frequencies)
+        rig.controller.retract_watch([900.0, 940.0, 500.0])
+        watched = set(rig.controller.live_frequencies)
+        assert 900.0 not in watched and 940.0 not in watched
+        # Subscribed frequencies are not retractable.
+        assert 500.0 in watched
+
+    def test_migrate_watch_translates_and_tags_epochs(self):
+        rig = build_rig()
+        old_hz, new_hz = 500.0, 900.0
+        onsets = []
+        rig.controller.watch(
+            [old_hz],
+            on_onset=lambda event: onsets.append(
+                (event.time, event.frequency, event.epoch)),
+        )
+        agent = rig.agents["s1"]
+        sim = rig.sim
+        sim.schedule_at(0.15, agent.play, old_hz, 0.08, 70.0)
+        # Handover: a straggler tone still on the old frequency after
+        # the commit re-attributes to the new plan entry, old epoch.
+        sim.schedule_at(0.50, rig.controller.migrate_watch,
+                        {old_hz: new_hz}, 1, 0.4)
+        sim.schedule_at(0.55, agent.play, old_hz, 0.08, 70.0)
+        sim.schedule_at(1.20, agent.play, new_hz, 0.08, 70.0)
+        # After the handover the vacated frequency is dead air.
+        sim.schedule_at(1.60, agent.play, old_hz, 0.08, 70.0)
+        rig.controller.start()
+        sim.run(2.0)
+
+        assert len(onsets) == 3
+        (pre, straggler, post) = onsets
+        assert pre[1:] == (old_hz, 0)
+        assert straggler[1:] == (new_hz, 0)    # translated, pre-commit epoch
+        assert post[1:] == (new_hz, 1)
