@@ -418,6 +418,131 @@ def test_perf_spectrum_sentinel_disabled_overhead(busy_channel):
 
 
 @pytest.mark.perf
+def test_perf_infra_disabled_overhead(busy_channel):
+    """Acceptance gate for the repro.infra layer, in two halves.
+
+    Listening path: a detector carrying a SpectraCache must leave
+    detection events bit-identical (checked on a cold, all-miss pass),
+    and in the cache's steady state — repeated captures of the same
+    windows, every lookup a hit — stay within 5% of the bare detector.
+    The fingerprint + lookup must cost far less than the ``analyze()``
+    it skips, so the memo actually pays for itself on hits.
+
+    Send path: an MpArqSender whose breaker never trips and whose
+    admission bucket never empties must produce bit-identical ArqStats
+    to a bare sender on a healthy link, and the idle allow/admit checks
+    (~2 us against a ~35 us per-send event machinery) must stay an
+    order of magnitude below the machinery cost."""
+    from repro.infra import CircuitBreaker, SpectraCache, TokenBucket
+
+    plan = FrequencyPlan(low_hz=500.0, guard_hz=40.0)
+    watched = list(plan.allocate("all", 10).frequencies)
+    microphone = Microphone(Position(), seed=1)
+    windows = [microphone.record(busy_channel, tick * 0.1, (tick + 1) * 0.1)
+               for tick in range(24)]
+
+    bare = FrequencyDetector(watched)
+    cache = SpectraCache(capacity=32, ttl=10.0)
+    cached = FrequencyDetector(watched, spectra_cache=cache)
+
+    for tick, window in enumerate(windows):
+        plain = bare.detect(window, tick * 0.1)
+        via_cache = cached.detect(window, tick * 0.1)
+        assert plain == via_cache
+    assert cache.misses == len(windows) and cache.hits == 0
+
+    def sweep(detector):
+        for tick, window in enumerate(windows):
+            detector.detect(window, tick * 0.1)
+
+    sweep(bare)
+    sweep(cached)  # warm: from here on every cached lookup hits
+    # Interleave the timed pairs (alternating order): the quantity of
+    # interest is a per-window delta of a few microseconds, well below
+    # sequential-block clock drift, so both sides must sample the same
+    # noise.
+    bare_s = cached_s = float("inf")
+    for round_index in range(30):
+        pair = (bare, cached) if round_index % 2 == 0 else (cached, bare)
+        for detector in pair:
+            start = time.perf_counter()
+            sweep(detector)
+            elapsed = time.perf_counter() - start
+            if detector is bare:
+                bare_s = min(bare_s, elapsed)
+            else:
+                cached_s = min(cached_s, elapsed)
+    assert cache.misses == len(windows), "steady state must be all hits"
+    overhead = cached_s / bare_s - 1.0
+    _record_perf("infra_cache_steadystate_overhead_10f_24win", {
+        "bare_ms": bare_s * 1e3,
+        "cached_ms": cached_s * 1e3,
+        "idle_overhead": overhead,
+    })
+    print(f"\nsteady-state spectra-cache overhead 10 freqs / "
+          f"{len(windows)} windows: bare {bare_s*1e3:.2f} ms, "
+          f"cached {cached_s*1e3:.2f} ms ({overhead:+.1%})")
+    assert overhead < 0.05
+    assert cached_s < bare_s, "a hitting cache must beat re-analysis"
+
+    # --- send path: idle breaker + admission on a healthy link -------
+    from repro.core import (MpArqSender, MusicAgent, MusicProtocolMessage,
+                            PiBridge)
+    from repro.audio import Speaker
+    from repro.net.switch import Switch
+
+    message = MusicProtocolMessage(1000.0, 0.05, 70.0)
+    sends = 200
+
+    def arq_run(with_infra):
+        sim = Simulator()
+        agent = MusicAgent(sim, AcousticChannel(),
+                           Speaker(Position(1.0, 0.0, 0.0)), name="s1")
+        bridge = PiBridge(sim, Switch(sim, "s1"), agent)
+        kwargs = {}
+        if with_infra:
+            kwargs = dict(breaker=CircuitBreaker("s1"),
+                          admission=TokenBucket(10_000.0, 10_000.0,
+                                                name="perf-gate"))
+        sender = MpArqSender(bridge, **kwargs)
+        for index in range(sends):
+            sim.schedule_at(index * 0.01, sender.send, message)
+        start = time.perf_counter()
+        sim.run(5.0)
+        return time.perf_counter() - start, sender.stats()
+
+    arq_run(False)
+    arq_run(True)  # warm both before timing
+    arq_bare_s = arq_idle_s = float("inf")
+    for round_index in range(10):
+        order = (False, True) if round_index % 2 == 0 else (True, False)
+        for with_infra in order:
+            elapsed, stats = arq_run(with_infra)
+            assert stats.acked == sends and stats.expired == 0
+            assert stats.fast_failed == 0 and stats.shed == 0
+            if with_infra:
+                idle_stats = stats
+                arq_idle_s = min(arq_idle_s, elapsed)
+            else:
+                bare_stats = stats
+                arq_bare_s = min(arq_bare_s, elapsed)
+    assert idle_stats == bare_stats, \
+        "idle breaker/admission must not change ARQ behavior"
+    arq_overhead = arq_idle_s / arq_bare_s - 1.0
+    _record_perf("infra_arq_idle_overhead_200sends", {
+        "bare_ms": arq_bare_s * 1e3,
+        "idle_ms": arq_idle_s * 1e3,
+        "idle_overhead": arq_overhead,
+    })
+    print(f"idle breaker+admission overhead {sends} sends: "
+          f"bare {arq_bare_s*1e3:.2f} ms, "
+          f"infra {arq_idle_s*1e3:.2f} ms ({arq_overhead:+.1%})")
+    # The per-send allow/admit cost is real (~6%) but must never grow
+    # to rival the send machinery itself.
+    assert arq_overhead < 0.25
+
+
+@pytest.mark.perf
 def test_perf_goertzel_bank_vectorized_speedup():
     """The phasor-matrix bank must beat the scalar per-frequency loop
     by >= 5x on the paper's workload: a 16-frequency watch list over a

@@ -252,6 +252,57 @@ def run_xext13(args: argparse.Namespace) -> None:
     ])
 
 
+def run_xext14(args: argparse.Namespace) -> None:
+    result = experiments.infra_experiment(smoke=getattr(args, "smoke", False))
+    wedged, storm, shared = result.wedged, result.storm, result.shared
+
+    def _latency(value):
+        return f"{value:.2f} s" if value is not None else "never"
+
+    _print_table(
+        f"XEXT14a: Pi wedged at t = {wedged.wedge_at:.1f} s, "
+        f"restarts at t = {wedged.recover_at:.1f} s", [
+            ("deadline-only",
+             f"failover after {_latency(wedged.baseline_latency)}  "
+             f"({wedged.baseline_expired} frames rode the full deadline)"),
+            ("circuit breaker",
+             f"failover after {_latency(wedged.breaker_latency)}  "
+             f"({wedged.breaker_trips} trips, "
+             f"{wedged.fast_failed} sends fast-failed, "
+             f"{wedged.breaker_expired} expired)"),
+            ("speedup",
+             f"{wedged.speedup:.1f}x" if wedged.speedup else "n/a"),
+            ("failback", f"acoustic again at {_latency(wedged.failback_at)}"
+             if wedged.failback_at is not None else "never"),
+        ])
+    _print_table(
+        f"XEXT14b: {storm.storm_sends} sends in "
+        f"{storm.storm_duration:.1f} s against a crashed Pi "
+        f"(bucket rate {storm.bucket_rate:.0f}/s, "
+        f"burst {storm.bucket_burst:.0f})", [
+            ("no admission",
+             f"peak in-flight {storm.bare_peak_in_flight}"),
+            ("token bucket",
+             f"peak in-flight {storm.limited_peak_in_flight} "
+             f"(bound {storm.admitted_bound:.0f})  "
+             f"admitted {storm.arq_admitted}, shed {storm.arq_shed}"),
+            ("controller ingest",
+             f"{storm.controller_detections} detections = "
+             f"{storm.controller_dispatched} dispatched + "
+             f"{storm.controller_shed} shed "
+             f"(conserved: {storm.conservation_holds})"),
+        ])
+    _print_table(
+        f"XEXT14c: two controllers, one microphone, one spectra cache "
+        f"({shared.windows_each} windows each)", [
+            ("cache", f"{shared.cache_hits} hits / "
+             f"{shared.cache_misses} misses  "
+             f"(hit rate {shared.hit_rate:.1%})"),
+            ("events", f"{shared.events_a} vs {shared.events_b}, "
+             f"identical: {shared.events_identical}"),
+        ])
+
+
 def run_obs(args: argparse.Namespace) -> None:
     """Run one experiment under ``repro.obs`` and print/export metrics."""
     from pathlib import Path
@@ -301,6 +352,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
     "xext": ("extensions (relay, DDoS, ultrasound, modem)", run_xext),
     "xext12": ("resilience (fault injection, ARQ, failover)", run_xext12),
     "xext13": ("spectrum agility (interference replanning)", run_xext13),
+    "xext14": ("infra hardening (breaker, admission, spectra cache)",
+               run_xext14),
 }
 
 
@@ -402,7 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--samples", type=int, default=1000,
                             help="sample count for fig2b")
     run_parser.add_argument("--smoke", action="store_true",
-                            help="shrink sweeps for CI (xext12/xext13)")
+                            help="shrink sweeps for CI (xext12/xext13/xext14)")
 
     render_parser = subparsers.add_parser(
         "render", help="write experiment audio to a WAV file"
@@ -428,7 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
     obs_parser.add_argument("--samples", type=int, default=1000,
                             help="sample count for fig2b")
     obs_parser.add_argument("--smoke", action="store_true",
-                            help="shrink sweeps for CI (xext12/xext13)")
+                            help="shrink sweeps for CI (xext12/xext13/xext14)")
     return parser
 
 

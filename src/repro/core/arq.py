@@ -25,8 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .. import obs
-from ..audio.detector import FrequencyDetector
+from ..audio.detector import DEFAULT_TOLERANCE_HZ, FrequencyDetector
 from ..audio.devices import Microphone
+from ..infra import CircuitBreaker, RetryPolicy, RetrySchedule, TokenBucket
 from ..net.packet import Packet
 from ..net.sim import Simulator
 from .agent import MusicAgent
@@ -43,39 +44,59 @@ class ArqConfig:
     unacknowledged at ``deadline`` after first transmission is dropped
     and counted as expired — management traffic goes stale, it must
     not queue forever.
+
+    Validation and the retransmission timeline both delegate to
+    :class:`repro.infra.RetryPolicy`; ARQ is one consumer of the
+    repo-wide retry policy, not a private copy of it.
     """
 
     initial_timeout: float = 0.05
     backoff: float = 2.0
     max_timeout: float = 0.5
     deadline: float = 2.0
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.initial_timeout <= 0:
-            raise ValueError("initial_timeout must be positive")
-        if self.backoff < 1.0:
-            raise ValueError("backoff must be >= 1")
-        if self.max_timeout < self.initial_timeout:
-            raise ValueError("max_timeout must be >= initial_timeout")
-        if self.deadline <= 0:
-            raise ValueError("deadline must be positive")
+        self.policy()  # RetryPolicy owns the validation rules
+
+    def policy(self) -> RetryPolicy:
+        """This config as a :class:`repro.infra.RetryPolicy`."""
+        return RetryPolicy(self.initial_timeout, self.backoff,
+                           self.max_timeout, self.deadline, self.jitter)
+
+    def schedule(self, start: float,
+                 seed: int | None = None) -> RetrySchedule:
+        """A fresh retry schedule anchored at ``start``."""
+        return self.policy().schedule(start, seed)
 
 
 @dataclass
 class _PendingFrame:
-    """Book-keeping for one in-flight ARQ frame."""
+    """Book-keeping for one in-flight ARQ frame.
+
+    Retry timers carry the frame object itself and identity-check it
+    against ``_pending`` before acting, so a sequence number reused
+    after 16-bit wraparound can never be retransmitted or expired by a
+    stale timer belonging to the displaced frame.
+    """
 
     wire: bytes
     first_sent: float
-    deadline: float
-    timeout: float
+    schedule: RetrySchedule
     attempts: int = 0
+    #: Whether the breaker was already told this frame looks lost
+    #: (early-suspect signal); prevents double-counting at expiry.
+    suspected: bool = False
     #: Optional delivery callbacks — ``on_ack(sequence, latency)`` when
     #: the frame is acknowledged, ``on_expire(sequence)`` when its
     #: deadline passes unacknowledged.  The migration protocol uses
     #: these to learn which participants are PREPAREd.
     on_ack: object = None
     on_expire: object = None
+
+    @property
+    def deadline(self) -> float:
+        return self.schedule.deadline
 
 
 @dataclass
@@ -88,6 +109,10 @@ class ArqStats:
     expired: int
     delivery_rate: float
     mean_latency: float
+    #: Sends refused immediately by an OPEN circuit breaker.
+    fast_failed: int = 0
+    #: Sends refused by the admission token bucket.
+    shed: int = 0
 
 
 class MpArqSender:
@@ -97,21 +122,59 @@ class MpArqSender:
     outside the flow table, so the hook is the only consumer); pending
     frames retransmit on a per-frame timer with exponential backoff
     until acknowledged or past the deadline.
+
+    Parameters
+    ----------
+    breaker:
+        Optional :class:`repro.infra.CircuitBreaker` guarding this
+        link.  Sends are fast-failed while it is OPEN; ACKs feed it
+        successes; a frame reaching ``suspect_after`` unacknowledged
+        transmissions (or its deadline) feeds it a failure, so a wedged
+        Pi trips the breaker long before every frame rides out its full
+        delivery deadline.
+    admission:
+        Optional :class:`repro.infra.TokenBucket`; sends beyond its
+        rate are shed with a counted drop instead of growing
+        ``_pending`` without bound.
+    suspect_after:
+        Unacknowledged transmissions after which a frame is reported to
+        the breaker as an early failure (the deadline still governs the
+        frame's own fate).
     """
 
     def __init__(self, bridge: PiBridge,
-                 config: ArqConfig | None = None) -> None:
+                 config: ArqConfig | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 admission: TokenBucket | None = None,
+                 suspect_after: int = 2) -> None:
+        if suspect_after < 1:
+            raise ValueError("suspect_after must be >= 1")
         self.sim = bridge.sim
         self.bridge = bridge
         self.config = config or ArqConfig()
+        self.breaker = breaker
+        self.admission = admission
+        self.suspect_after = suspect_after
         self._pending: dict[int, _PendingFrame] = {}
         self._next_sequence = 0
         self.acked_log: list[tuple[int, float]] = []   # (seq, latency)
         self.expired_log: list[int] = []
+        self.peak_in_flight = 0
+        # Per-instance delivery tallies: stats() must stay correct with
+        # several senders alive (e.g. one per Pi bridge), so it never
+        # reads the shared obs namespace.
+        self._sent = 0
+        self._acked = 0
+        self._retransmits = 0
+        self._expired = 0
+        self._fast_failed = 0
+        self._shed = 0
         self._m_sent = obs.counter("arq.mp_frames_sent")
         self._m_retransmits = obs.counter("arq.mp_retransmits")
         self._m_acked = obs.counter("arq.mp_frames_acked")
         self._m_expired = obs.counter("arq.mp_frames_expired")
+        self._m_fast_failed = obs.counter("arq.mp_fast_failed")
+        self._m_shed = obs.counter("arq.mp_shed")
         bridge.switch.on_receive(self._on_switch_packet)
 
     # ------------------------------------------------------------------
@@ -127,30 +190,60 @@ class MpArqSender:
         """Frame, transmit, and track one raw payload under the ARQ
         envelope (``b"MD" + seq + payload``); returns its sequence
         number.  ``on_ack(sequence, latency)`` / ``on_expire(sequence)``
-        fire when the frame is acknowledged or its deadline passes."""
+        fire when the frame is acknowledged or its deadline passes.
+
+        Sends refused by the admission bucket or an OPEN breaker return
+        ``-1`` and fire ``on_expire(-1)`` on the next event-loop turn —
+        the caller learns immediately instead of after the deadline."""
+        now = self.sim.now
+        if self.admission is not None and not self.admission.admit(now):
+            self._shed += 1
+            self._m_shed.inc()
+            if on_expire is not None:
+                self.sim.schedule_at(now, on_expire, -1)
+            return -1
+        if self.breaker is not None and not self.breaker.allow(now):
+            self._fast_failed += 1
+            self._m_fast_failed.inc()
+            if on_expire is not None:
+                self.sim.schedule_at(now, on_expire, -1)
+            return -1
         sequence = self._next_sequence
         self._next_sequence = (self._next_sequence + 1) % 65_536
+        stale = self._pending.pop(sequence, None)
+        if stale is not None:
+            # 16-bit wraparound landed on a frame still in flight: it
+            # can no longer be acknowledged unambiguously, so expire it
+            # now; its timers die on the identity guard.
+            self._count_expired(sequence, stale)
         wire = ARQ_DATA_MAGIC + sequence.to_bytes(2, "big") + payload
-        now = self.sim.now
-        self._pending[sequence] = _PendingFrame(
+        frame = _PendingFrame(
             wire=wire,
             first_sent=now,
-            deadline=now + self.config.deadline,
-            timeout=self.config.initial_timeout,
+            schedule=self.config.schedule(now, seed=sequence),
             on_ack=on_ack,
             on_expire=on_expire,
         )
+        self._pending[sequence] = frame
+        if len(self._pending) > self.peak_in_flight:
+            self.peak_in_flight = len(self._pending)
+        self._sent += 1
         self._m_sent.inc()
-        self._transmit(sequence)
+        self._transmit(sequence, frame)
         return sequence
 
-    def _transmit(self, sequence: int) -> None:
-        frame = self._pending.get(sequence)
-        if frame is None:
-            return
+    def _transmit(self, sequence: int, frame: _PendingFrame) -> None:
+        if self._pending.get(sequence) is not frame:
+            return  # acknowledged, expired, or displaced by wraparound
         frame.attempts += 1
         if frame.attempts > 1:
+            self._retransmits += 1
             self._m_retransmits.inc()
+        if (self.breaker is not None and not frame.suspected
+                and frame.attempts > self.suspect_after):
+            # Early-failure signal: several transmissions, no ACK.
+            frame.suspected = True
+            self.breaker.record_failure(self.sim.now)
         packet = Packet(
             self.bridge._flow,
             size_bytes=len(frame.wire) + 42,
@@ -160,21 +253,27 @@ class MpArqSender:
         )
         self.bridge.mp_sent.increment()
         self.bridge.switch.transmit(packet, self.bridge.pi_port)
-        retry_at = self.sim.now + frame.timeout
-        frame.timeout = min(frame.timeout * self.config.backoff,
-                            self.config.max_timeout)
-        if retry_at < frame.deadline:
-            self.sim.schedule_at(retry_at, self._transmit, sequence)
+        retry_at = frame.schedule.next_retry(self.sim.now)
+        if retry_at is not None:
+            self.sim.schedule_at(retry_at, self._transmit, sequence, frame)
         else:
-            self.sim.schedule_at(frame.deadline, self._expire, sequence)
+            self.sim.schedule_at(frame.deadline, self._expire,
+                                 sequence, frame)
 
-    def _expire(self, sequence: int) -> None:
-        frame = self._pending.pop(sequence, None)
-        if frame is not None:
-            self._m_expired.inc()
-            self.expired_log.append(sequence)
-            if frame.on_expire is not None:
-                frame.on_expire(sequence)
+    def _expire(self, sequence: int, frame: _PendingFrame) -> None:
+        if self._pending.get(sequence) is not frame:
+            return  # acknowledged meanwhile, or displaced by wraparound
+        del self._pending[sequence]
+        self._count_expired(sequence, frame)
+
+    def _count_expired(self, sequence: int, frame: _PendingFrame) -> None:
+        self._expired += 1
+        self._m_expired.inc()
+        self.expired_log.append(sequence)
+        if self.breaker is not None and not frame.suspected:
+            self.breaker.record_failure(self.sim.now)
+        if frame.on_expire is not None:
+            frame.on_expire(sequence)
 
     # ------------------------------------------------------------------
     # ACK path
@@ -191,7 +290,10 @@ class MpArqSender:
         frame = self._pending.pop(sequence, None)
         if frame is None:
             return  # duplicate ACK of a retransmitted frame
+        self._acked += 1
         self._m_acked.inc()
+        if self.breaker is not None:
+            self.breaker.record_success(self.sim.now)
         latency = self.sim.now - frame.first_sent
         self.acked_log.append((sequence, latency))
         if frame.on_ack is not None:
@@ -206,17 +308,17 @@ class MpArqSender:
         return len(self._pending)
 
     def stats(self) -> ArqStats:
-        sent = self._m_sent.value
-        acked = self._m_acked.value
         latencies = [latency for _seq, latency in self.acked_log]
         return ArqStats(
-            sent=sent,
-            acked=acked,
-            retransmits=self._m_retransmits.value,
-            expired=self._m_expired.value,
-            delivery_rate=acked / sent if sent else 0.0,
+            sent=self._sent,
+            acked=self._acked,
+            retransmits=self._retransmits,
+            expired=self._expired,
+            delivery_rate=self._acked / self._sent if self._sent else 0.0,
             mean_latency=(sum(latencies) / len(latencies)
                           if latencies else float("nan")),
+            fast_failed=self._fast_failed,
+            shed=self._shed,
         )
 
 
@@ -227,23 +329,52 @@ class AckToneResponder:
     ``ack_map`` maps each watched data frequency to the ACK frequency
     the responder answers it with.  Must be constructed before
     ``controller.start()`` (it subscribes via ``watch``).
+
+    Onset frequencies resolve against the map within ``tolerance_hz``
+    (guard/2, like the detector and the frequency plan) rather than by
+    exact float equality — a bin-quantized or plan-migrated onset must
+    never crash the responder.  Unresolvable onsets are counted in
+    ``acks_skipped``; :meth:`rebind` follows plan migrations.
     """
 
     def __init__(self, controller, agent: MusicAgent,
                  ack_map: dict[float, float],
                  tone_duration: float = 0.05,
-                 tone_level_db: float = 72.0) -> None:
+                 tone_level_db: float = 72.0,
+                 tolerance_hz: float = DEFAULT_TOLERANCE_HZ) -> None:
         if not ack_map:
             raise ValueError("ack_map must not be empty")
         self.agent = agent
         self.ack_map = {float(freq): ack for freq, ack in ack_map.items()}
         self.tone_duration = tone_duration
         self.tone_level_db = tone_level_db
+        self.tolerance_hz = tolerance_hz
         self.acks_played = 0
+        self.acks_skipped = 0
         controller.watch(list(self.ack_map), on_onset=self._on_onset)
 
+    def rebind(self, old_frequency: float, new_frequency: float) -> None:
+        """Follow a plan migration: answer ``new_frequency`` with the
+        ACK tone previously bound to ``old_frequency``."""
+        self.ack_map[float(new_frequency)] = self.ack_map.pop(
+            float(old_frequency)
+        )
+
+    def _resolve(self, frequency: float) -> float | None:
+        """The ACK frequency for an onset, within tolerance."""
+        ack = self.ack_map.get(frequency)
+        if ack is not None:
+            return ack
+        nearest = min(self.ack_map, key=lambda f: abs(f - frequency))
+        if abs(nearest - frequency) <= self.tolerance_hz:
+            return self.ack_map[nearest]
+        return None
+
     def _on_onset(self, event) -> None:
-        ack_frequency = self.ack_map[event.frequency]
+        ack_frequency = self._resolve(event.frequency)
+        if ack_frequency is None:
+            self.acks_skipped += 1
+            return
         if self.agent.play(ack_frequency, self.tone_duration,
                            self.tone_level_db):
             self.acks_played += 1
@@ -279,7 +410,7 @@ class ToneArqSender:
         self.expired = False
         self.delivered_at: float | None = None
         self._deadline = 0.0
-        self._timeout = self.config.initial_timeout
+        self._schedule: RetrySchedule | None = None
         self._detector = FrequencyDetector([ack_frequency])
         self._m_attempts = obs.counter("arq.tone_attempts")
         self._m_delivered = obs.counter("arq.tone_delivered")
@@ -291,8 +422,8 @@ class ToneArqSender:
         self.delivered = False
         self.expired = False
         self.delivered_at = None
-        self._deadline = self.sim.now + self.config.deadline
-        self._timeout = self.config.initial_timeout
+        self._schedule = self.config.schedule(self.sim.now)
+        self._deadline = self._schedule.deadline
         self._attempt()
 
     def _attempt(self) -> None:
@@ -314,10 +445,12 @@ class ToneArqSender:
             self.delivered_at = self.sim.now
             self._m_delivered.inc()
             return
-        retry_at = self.sim.now + self._timeout
-        self._timeout = min(self._timeout * self.config.backoff,
-                            self.config.max_timeout)
-        if retry_at + self.tone_duration + self.ack_window <= self._deadline:
+        # A retry only counts if the replayed tone and its ACK listening
+        # window also fit before the deadline — that sum is the margin.
+        retry_at = self._schedule.next_retry(
+            self.sim.now, margin=self.tone_duration + self.ack_window
+        )
+        if retry_at is not None:
             self.sim.schedule_at(retry_at, self._attempt)
         else:
             self.expired = True

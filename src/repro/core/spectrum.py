@@ -46,6 +46,7 @@ import numpy as np
 from .. import obs
 from ..audio.detector import SIDELOBE_RADIUS_HZ
 from ..audio.signal import FULL_SCALE_DB
+from ..infra import RetryPolicy, RetrySchedule
 from .arq import MpArqSender
 from .controller import MDNController
 from .frequency_plan import Allocation, FrequencyPlan, FrequencyPlanError
@@ -530,7 +531,14 @@ class SpectrumAgilityManager:
     prepare_timeout:
         Phase-1 deadline, seconds.
     retry_backoff:
-        Delay before re-attempting after a rollback.
+        Delay before the *first* re-attempt after a rollback.
+    retry_policy:
+        The :class:`repro.infra.RetryPolicy` consecutive rollbacks walk
+        (a wedged participant must not be re-PREPAREd at a fixed
+        cadence forever).  Defaults to exponential backoff starting at
+        ``retry_backoff``, capped at 8× it, with no deadline — the
+        manager never gives up, it just slows down.  A commit resets
+        the schedule.
     shadow_hz:
         Desensitization radius around interfered bands: allocations
         within it are relocated too, and target slots must clear it.
@@ -548,6 +556,7 @@ class SpectrumAgilityManager:
         prepare_timeout: float = 1.0,
         retry_backoff: float = 2.0,
         shadow_hz: float = SIDELOBE_RADIUS_HZ,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if prepare_timeout <= 0:
             raise ValueError("prepare_timeout must be positive")
@@ -559,6 +568,13 @@ class SpectrumAgilityManager:
         )
         self.prepare_timeout = prepare_timeout
         self.retry_backoff = retry_backoff
+        self.retry_policy = retry_policy or RetryPolicy(
+            initial_timeout=retry_backoff,
+            backoff=2.0,
+            max_timeout=8 * retry_backoff,
+            deadline=math.inf,
+        )
+        self._retry_schedule: RetrySchedule | None = None
         self.shadow_hz = shadow_hz
         self.sim = controller.sim
         self.participants: dict[str, object] = {}
@@ -688,6 +704,7 @@ class SpectrumAgilityManager:
         self._g_epoch.set(epoch)
         if self._obs is not None:
             self._m_latency_ms.observe(record.latency * 1e3)
+        self._retry_schedule = None  # rollback backoff restarts fresh
         self._active = None
         if state.recheck:
             self.sim.schedule_at(now, self._maybe_migrate, now)
@@ -711,8 +728,10 @@ class SpectrumAgilityManager:
         ))
         self._m_aborted.inc()
         self._active = None
+        if self._retry_schedule is None:
+            self._retry_schedule = self.retry_policy.schedule(now)
         self.sim.schedule_at(
-            now + self.retry_backoff, self._maybe_migrate, now,
+            self._retry_schedule.next_retry(now), self._maybe_migrate, now,
         )
 
     # ------------------------------------------------------------------

@@ -63,6 +63,16 @@ from .xext13 import (
     spectrum_agility_experiment,
     spectrum_agility_run,
 )
+from .xext14 import (
+    SharedSpectraResult,
+    StormResult,
+    WedgedLinkResult,
+    Xext14Result,
+    infra_experiment,
+    shared_spectra_experiment,
+    storm_experiment,
+    wedged_link_experiment,
+)
 from .xcap import (
     BackendComparison,
     ConcurrencyPoint,
@@ -133,4 +143,12 @@ __all__ = [
     "SweepPoint",
     "Xext13Result",
     "bandwidth_sweep",
+    "SharedSpectraResult",
+    "StormResult",
+    "WedgedLinkResult",
+    "Xext14Result",
+    "infra_experiment",
+    "shared_spectra_experiment",
+    "storm_experiment",
+    "wedged_link_experiment",
 ]

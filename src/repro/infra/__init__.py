@@ -1,0 +1,36 @@
+"""``repro.infra`` — production-hardening primitives for the MDN stack.
+
+Four small, deterministic, sim-time-driven building blocks that the
+core layers (ARQ, spectrum agility, failover, controller) delegate to
+instead of hand-rolling their own copies:
+
+* :class:`RetryPolicy` / :class:`RetrySchedule` — one exponential
+  backoff-with-deadline schedule shared by every retransmitting layer;
+* :class:`CircuitBreaker` — trip/fast-fail/half-open protection around
+  each per-Pi ARQ link, feeding failover verdicts faster than frame
+  deadlines can;
+* :class:`TokenBucket` — admission control that turns ingest storms
+  into counted shedding instead of unbounded queue growth;
+* :class:`SpectraCache` — TTL/LRU memo so identical capture windows
+  are transformed once and shared by every consumer.
+
+All of it wires into :mod:`repro.obs` with the usual
+zero-overhead-when-disabled pattern, and none of it touches a wall
+clock — callers pass sim time in.
+"""
+
+from .admission import TokenBucket
+from .breaker import BreakerState, BreakerTransition, CircuitBreaker
+from .cache import SpectraCache, spectrum_fingerprint
+from .retry import RetryPolicy, RetrySchedule
+
+__all__ = [
+    "BreakerState",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "RetrySchedule",
+    "SpectraCache",
+    "TokenBucket",
+    "spectrum_fingerprint",
+]

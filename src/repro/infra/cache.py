@@ -1,0 +1,112 @@
+"""TTL/LRU cache for capture-window spectra.
+
+The controller's FFT backend computes one spectrum per capture window;
+the interference sentinel already taps those via ``spectrum_sink`` so
+replanning costs no extra FFTs.  But two *listeners* (e.g. a primary
+and a standby controller sharing one microphone position, or a detector
+re-run over the same recorded window in an experiment) still each pay
+the full ``analyze()``.  :class:`SpectraCache` memoizes spectra by a
+content fingerprint of the window so identical captures are transformed
+once; entries age out on a TTL (sim-time — stale windows are useless to
+a real-time control loop) and the LRU bound keeps memory flat.
+
+Modelled on the :class:`~repro.audio.devices.Microphone` self-noise
+memo, which is what makes repeated captures of the same window
+bit-identical — and therefore cacheable — in the first place.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .. import obs
+
+#: Max strided samples folded into a fingerprint.  64 float64s is a
+#: 512-byte hash input — cheap against a >=2400-sample window FFT.
+_FINGERPRINT_STRIDE_CAP = 64
+
+
+def spectrum_fingerprint(window, time: float, analyzer) -> tuple:
+    """A hashable content key for one (window, time, analyzer) triple.
+
+    Combines the capture time (quantized to ns — distinct sim windows
+    never collide), the exact sample geometry, the analyzer's transform
+    parameters, and a strided slice of the raw samples plus their full
+    sum, so two windows only share a key when they are the same audio
+    analyzed the same way.
+    """
+    samples = window.samples
+    n = len(samples)
+    stride = max(1, n // _FINGERPRINT_STRIDE_CAP)
+    return (
+        int(round(time * 1e9)),
+        n,
+        window.sample_rate,
+        analyzer.window,
+        analyzer.zero_pad_factor,
+        samples[::stride].tobytes(),
+        float(samples.sum()) if n else 0.0,
+    )
+
+
+class SpectraCache:
+    """Bounded, TTL-aged, LRU-evicted spectrum memo.
+
+    ``get(key, now)`` returns the cached value or ``None`` (expired
+    entries are dropped on the way); ``put(key, value, now)`` inserts,
+    evicting the least-recently-used entry past ``capacity``.  All ages
+    are sim-time.
+    """
+
+    def __init__(self, capacity: int = 64, ttl: float = 1.0,
+                 name: str = "spectra") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.capacity = capacity
+        self.ttl = ttl
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self._entries: OrderedDict[tuple, tuple[float, object]] = OrderedDict()
+        self._m_hits = obs.counter(f"cache.{name}.hits")
+        self._m_misses = obs.counter(f"cache.{name}.misses")
+        self._m_evictions = obs.counter(f"cache.{name}.evictions")
+
+    def get(self, key: tuple, now: float):
+        entry = self._entries.get(key)
+        if entry is not None:
+            stored_at, value = entry
+            if now - stored_at <= self.ttl:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                self._m_hits.inc()
+                return value
+            del self._entries[key]
+            self.expirations += 1
+        self.misses += 1
+        self._m_misses.inc()
+        return None
+
+    def put(self, key: tuple, value, now: float) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (now, value)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            self._m_evictions.inc()
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0

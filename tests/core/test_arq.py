@@ -3,6 +3,7 @@
 import pytest
 
 from repro.audio import AcousticChannel, Microphone, Position, Speaker
+from repro.audio.detector import DetectionEvent
 from repro.core import (
     AckToneResponder,
     ArqConfig,
@@ -164,3 +165,144 @@ class TestToneArq:
         station = MusicAgent(sim, channel, Speaker(Position()))
         with pytest.raises(ValueError):
             AckToneResponder(controller, station, {})
+
+
+class TestPerInstanceStats:
+    def test_two_senders_keep_independent_tallies(self):
+        """Regression: stats() once read the globally-named obs
+        counters, so a second sender's traffic leaked into the first
+        sender's report."""
+        sim, bridge_a = _mp_rig()
+        switch_b = Switch(sim, "s2")
+        agent_b = MusicAgent(sim, AcousticChannel(),
+                             Speaker(Position(0.0, 1.0, 0.0)), name="s2")
+        bridge_b = PiBridge(sim, switch_b, agent_b)
+        sender_a = MpArqSender(bridge_a)
+        sender_b = MpArqSender(bridge_b)
+        for _ in range(3):
+            sender_a.send(MESSAGE)
+        sender_b.send(MESSAGE)
+        sim.run(1.0)
+        stats_a, stats_b = sender_a.stats(), sender_b.stats()
+        assert (stats_a.sent, stats_a.acked) == (3, 3)
+        assert (stats_b.sent, stats_b.acked) == (1, 1)
+
+    def test_expirations_stay_per_instance(self):
+        sim, bridge_dead = _mp_rig(loss_rate=1.0)
+        switch_b = Switch(sim, "s2")
+        agent_b = MusicAgent(sim, AcousticChannel(),
+                             Speaker(Position(0.0, 1.0, 0.0)), name="s2")
+        bridge_ok = PiBridge(sim, switch_b, agent_b)
+        dead = MpArqSender(bridge_dead)
+        ok = MpArqSender(bridge_ok)
+        dead.send(MESSAGE)
+        ok.send(MESSAGE)
+        sim.run(3.0)
+        assert dead.stats().expired == 1 and dead.stats().acked == 0
+        assert ok.stats().expired == 0 and ok.stats().acked == 1
+
+
+class TestSequenceWraparound:
+    def test_sequence_wraps_past_65535(self):
+        sim, bridge = _mp_rig()
+        sender = MpArqSender(bridge)
+        sender._next_sequence = 65_535
+        assert sender.send(MESSAGE) == 65_535
+        assert sender.send(MESSAGE) == 0
+        sim.run(1.0)
+        assert sender.stats().acked == 2
+
+    def test_wrap_onto_pending_frame_expires_the_stale_one(self):
+        """Regression: a wrapped sequence number landing on a frame
+        still in flight used to let the stale frame's timers retransmit
+        and expire the *new* frame's state."""
+        sim, bridge = _mp_rig(loss_rate=1.0)
+        sender = MpArqSender(bridge)
+        expired = []
+        sender._next_sequence = 65_535
+        assert sender.send_wire(MESSAGE.marshal(),
+                                on_expire=expired.append) == 65_535
+        # Force an immediate wrap back onto the in-flight sequence.
+        sender._next_sequence = 65_535
+        assert sender.send_wire(MESSAGE.marshal(),
+                                on_expire=expired.append) == 65_535
+        # The stale frame was expired on the spot, unambiguously.
+        assert expired == [65_535]
+        assert sender.in_flight == 1
+        sim.run(4.0)
+        # The replacement ran its own full deadline; the stale frame's
+        # leftover timers died on the identity guard without double
+        # counting or resurrecting anything.
+        assert expired == [65_535, 65_535]
+        stats = sender.stats()
+        assert stats.sent == 2
+        assert stats.expired == 2
+        assert sender.in_flight == 0
+
+
+class TestRetrySchedulePinned:
+    def test_wire_retransmit_offsets_unchanged(self):
+        """The RetryPolicy refactor must not move the MP wire schedule:
+        retries at +0.05/0.15/0.35/0.75/1.25/1.75, expiry at +2.0."""
+        sim, bridge = _mp_rig(loss_rate=1.0)
+        sender = MpArqSender(bridge)
+        expired_at = []
+        sim.schedule_at(1.0, sender.send_wire, MESSAGE.marshal(), None,
+                        lambda seq: expired_at.append(sim.now))
+        sim.run(5.0)
+        stats = sender.stats()
+        assert stats.retransmits == 6
+        assert expired_at == [3.0]
+
+    def test_jitter_shrinks_but_keeps_deadline(self):
+        sim, bridge = _mp_rig(loss_rate=1.0)
+        sender = MpArqSender(bridge, ArqConfig(jitter=0.5))
+        expired_at = []
+        sender.send_wire(MESSAGE.marshal(), None,
+                         lambda seq: expired_at.append(sim.now))
+        sim.run(5.0)
+        assert expired_at == [2.0]
+        assert sender.stats().retransmits >= 6
+
+
+class TestAckToneTolerance:
+    def _responder(self):
+        sim = Simulator()
+        channel = AcousticChannel()
+        controller = MDNController(sim, channel,
+                                   Microphone(Position(), seed=11))
+        station = MusicAgent(sim, channel,
+                             Speaker(Position(0.2, 0.0, 0.0)), "station")
+        responder = AckToneResponder(controller, station, {1000.0: 1400.0})
+        return sim, responder
+
+    @staticmethod
+    def _onset(frequency):
+        return DetectionEvent(frequency=frequency,
+                              measured_frequency=frequency,
+                              level_db=60.0, time=0.5)
+
+    def test_quantized_onset_still_acked(self):
+        """Regression: a bin-quantized onset (1004 Hz for the 1000 Hz
+        entry) used to raise KeyError out of the dispatch loop."""
+        sim, responder = self._responder()
+        responder._on_onset(self._onset(1004.0))
+        assert responder.acks_played == 1
+        assert responder.acks_skipped == 0
+
+    def test_far_onset_skipped_not_crashed(self):
+        sim, responder = self._responder()
+        responder._on_onset(self._onset(1050.0))
+        assert responder.acks_played == 0
+        assert responder.acks_skipped == 1
+
+    def test_rebind_follows_migration_then_acks(self):
+        """After a plan migration the responder answers the relocated
+        frequency (and its quantized neighbours), not the old one."""
+        sim, responder = self._responder()
+        responder.rebind(1000.0, 1150.0)
+        responder._on_onset(self._onset(1147.0))
+        assert responder.acks_played == 1
+        responder._on_onset(self._onset(1000.0))
+        assert responder.acks_skipped == 1
+        assert responder.ack_map == {1150.0: 1400.0}

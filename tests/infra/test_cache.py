@@ -1,0 +1,102 @@
+"""Tests for the TTL/LRU spectra cache and its content fingerprint."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.infra import SpectraCache, spectrum_fingerprint
+
+
+def _window(samples, sample_rate=44100):
+    return SimpleNamespace(samples=np.asarray(samples, dtype=np.float64),
+                           sample_rate=sample_rate)
+
+
+_ANALYZER = SimpleNamespace(window="hann", zero_pad_factor=2)
+
+
+class TestSpectraCache:
+    def test_put_then_get_hits(self):
+        cache = SpectraCache(capacity=4, ttl=1.0)
+        cache.put(("k",), "spectrum", now=0.0)
+        assert cache.get(("k",), now=0.5) == "spectrum"
+        assert cache.hits == 1 and cache.misses == 0
+        assert cache.hit_rate == 1.0
+
+    def test_ttl_expires_entries(self):
+        cache = SpectraCache(capacity=4, ttl=1.0)
+        cache.put(("k",), "spectrum", now=0.0)
+        assert cache.get(("k",), now=1.0) == "spectrum"  # inclusive edge
+        assert cache.get(("k",), now=1.01) is None
+        assert cache.expirations == 1
+        assert len(cache) == 0
+
+    def test_lru_evicts_oldest_unused(self):
+        cache = SpectraCache(capacity=2, ttl=10.0)
+        cache.put(("a",), 1, now=0.0)
+        cache.put(("b",), 2, now=0.1)
+        assert cache.get(("a",), now=0.2) == 1  # refresh "a"
+        cache.put(("c",), 3, now=0.3)           # evicts "b", not "a"
+        assert cache.evictions == 1
+        assert cache.get(("a",), now=0.4) == 1
+        assert cache.get(("b",), now=0.4) is None
+        assert cache.get(("c",), now=0.4) == 3
+
+    def test_reput_refreshes_age_without_growth(self):
+        cache = SpectraCache(capacity=2, ttl=1.0)
+        cache.put(("k",), "old", now=0.0)
+        cache.put(("k",), "new", now=0.9)
+        assert len(cache) == 1
+        assert cache.get(("k",), now=1.5) == "new"
+
+    def test_clear_and_hit_rate(self):
+        cache = SpectraCache(capacity=2, ttl=1.0)
+        assert cache.hit_rate == 0.0
+        cache.put(("k",), 1, now=0.0)
+        cache.get(("k",), now=0.0)
+        cache.get(("other",), now=0.0)
+        assert cache.hit_rate == 0.5
+        cache.clear()
+        assert len(cache) == 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"capacity": 0},
+        {"ttl": 0.0},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SpectraCache(**kwargs)
+
+
+class TestFingerprint:
+    def test_identical_captures_share_a_key(self):
+        samples = np.sin(np.linspace(0.0, 20.0, 4410))
+        first = spectrum_fingerprint(_window(samples), 1.5, _ANALYZER)
+        second = spectrum_fingerprint(_window(samples.copy()), 1.5,
+                                      _ANALYZER)
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_distinct_times_never_collide(self):
+        samples = np.zeros(4410)
+        one = spectrum_fingerprint(_window(samples), 0.1, _ANALYZER)
+        two = spectrum_fingerprint(_window(samples), 0.2, _ANALYZER)
+        assert one != two
+
+    def test_different_audio_differs(self):
+        base = np.sin(np.linspace(0.0, 20.0, 4410))
+        changed = base.copy()
+        changed[7] += 1e-3  # off-stride sample: caught by the sum term
+        assert spectrum_fingerprint(_window(base), 0.0, _ANALYZER) != \
+            spectrum_fingerprint(_window(changed), 0.0, _ANALYZER)
+
+    def test_analyzer_parameters_differ(self):
+        samples = np.zeros(128)
+        other = SimpleNamespace(window="hann", zero_pad_factor=4)
+        assert spectrum_fingerprint(_window(samples), 0.0, _ANALYZER) != \
+            spectrum_fingerprint(_window(samples), 0.0, other)
+
+    def test_empty_window_is_fingerprintable(self):
+        key = spectrum_fingerprint(_window([]), 0.0, _ANALYZER)
+        assert key[-1] == 0.0

@@ -1,0 +1,75 @@
+"""XEXT14 acceptance: the repro.infra hardening under real workloads.
+
+These pin the PR's headline claims on the smoke-sized run CI executes:
+the circuit breaker cuts time-to-failover on a wedged link by >= 2x
+over deadline-only detection (and fails back after the Pi restarts);
+token-bucket admission keeps the ARQ ``in_flight`` table bounded under
+a send storm with every shed counted; the controller's ingest limiter
+conserves events (detections == dispatched + shed); and a shared
+spectra cache halves the FFT work of two co-located listeners without
+changing a single event.
+"""
+
+import pytest
+
+from repro.experiments.xext14 import infra_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return infra_experiment(smoke=True)
+
+
+class TestWedgedLinkAcceptance:
+    def test_both_policies_detect_the_wedge(self, result):
+        wedged = result.wedged
+        assert wedged.baseline_detected_at is not None
+        assert wedged.breaker_failover_at is not None
+        assert wedged.breaker_failover_at > wedged.wedge_at
+
+    def test_breaker_at_least_twice_as_fast(self, result):
+        assert result.wedged.speedup is not None
+        assert result.wedged.speedup >= 2.0
+
+    def test_open_breaker_fast_fails_instead_of_queueing(self, result):
+        wedged = result.wedged
+        assert wedged.fast_failed > 0
+        # Fast-failed sends never ride the 2 s deadline, so the breaker
+        # run expires far fewer frames than the deadline-only run.
+        assert wedged.breaker_expired < wedged.baseline_expired
+
+    def test_failback_after_restart(self, result):
+        wedged = result.wedged
+        assert wedged.failback_at is not None
+        assert wedged.failback_at >= wedged.recover_at
+
+
+class TestStormAcceptance:
+    def test_unlimited_sender_queues_every_send(self, result):
+        storm = result.storm
+        assert storm.bare_peak_in_flight == storm.storm_sends
+
+    def test_bucket_bounds_in_flight(self, result):
+        storm = result.storm
+        assert storm.limited_peak_in_flight <= storm.admitted_bound
+        assert storm.limited_peak_in_flight < storm.bare_peak_in_flight
+
+    def test_every_shed_is_counted(self, result):
+        storm = result.storm
+        assert storm.arq_shed > 0
+        assert storm.arq_admitted + storm.arq_shed == storm.storm_sends
+
+    def test_controller_ingest_conserves_events(self, result):
+        storm = result.storm
+        assert storm.controller_shed > 0
+        assert storm.conservation_holds
+
+
+class TestSharedSpectraAcceptance:
+    def test_hit_rate_at_least_45pct(self, result):
+        assert result.shared.hit_rate >= 0.45
+
+    def test_events_bit_identical_across_listeners(self, result):
+        shared = result.shared
+        assert shared.events_identical
+        assert shared.events_a > 0
