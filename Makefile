@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-micro obs examples figures render-all clean
+.PHONY: install test bench bench-micro bench-fleet obs examples figures render-all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,6 +23,14 @@ bench:
 bench-micro:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest \
 		benchmarks/test_micro_performance.py -m perf -q -s
+
+# Fleet scaling curve (XEXT15): 1000 switches across 50 sharded rooms,
+# serial reference vs process pool, shard sweep + identity checks.
+# Writes .benchmarks/BENCH_fleet.json (override with
+# BENCH_FLEET_JSON=path; SMOKE=1 runs the shrunken CI fleet).
+bench-fleet:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro run \
+		xext15 $(if $(SMOKE),--smoke)
 
 # Instrumented run of one experiment (default fig5ab) under repro.obs:
 # prints the metric/trace report and exports .benchmarks/OBS_<fig>.json.

@@ -303,6 +303,33 @@ def run_xext14(args: argparse.Namespace) -> None:
         ])
 
 
+def run_xext15(args: argparse.Namespace) -> None:
+    result = experiments.fleet_experiment(smoke=getattr(args, "smoke", False))
+    _print_table(
+        f"XEXT15: fleet of {result.num_rooms} rooms x "
+        f"{result.switches_per_room} switches = {result.num_switches} "
+        f"switches, ~{result.nominal_emissions_per_second:.0f} "
+        f"emissions/s over {result.horizon:.1f} s "
+        f"(host has {result.cpu_count} CPU core(s))", [
+            ("delivery",
+             f"{result.delivered}/{result.emissions} chirps "
+             f"({result.delivery_ratio:.1%}), "
+             f"{result.spurious_onsets} spurious onsets"),
+            ("determinism",
+             f"two serial runs identical: {result.determinism_ok}"),
+        ])
+    _print_table("XEXT15: shard count vs wall clock", [
+        (f"{point.backend} x{point.num_shards}",
+         f"{point.wall_s:6.2f} s  speedup {point.speedup:4.2f}x  "
+         f"rtf {point.real_time_factor:6.1f} sim-s/s  "
+         f"identical {point.identical}"
+         + (f"  FAILURES {point.failures}" if point.failures else ""))
+        for point in result.points
+    ])
+    path = result.export()
+    print(f"\n   wrote {path}")
+
+
 def run_obs(args: argparse.Namespace) -> None:
     """Run one experiment under ``repro.obs`` and print/export metrics."""
     from pathlib import Path
@@ -354,6 +381,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
     "xext13": ("spectrum agility (interference replanning)", run_xext13),
     "xext14": ("infra hardening (breaker, admission, spectra cache)",
                run_xext14),
+    "xext15": ("fleet scale-out (sharded rooms, merged observability)",
+               run_xext15),
 }
 
 
@@ -455,7 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--samples", type=int, default=1000,
                             help="sample count for fig2b")
     run_parser.add_argument("--smoke", action="store_true",
-                            help="shrink sweeps for CI (xext12/xext13/xext14)")
+                            help="shrink sweeps for CI (xext12-xext15)")
 
     render_parser = subparsers.add_parser(
         "render", help="write experiment audio to a WAV file"
@@ -481,7 +510,7 @@ def build_parser() -> argparse.ArgumentParser:
     obs_parser.add_argument("--samples", type=int, default=1000,
                             help="sample count for fig2b")
     obs_parser.add_argument("--smoke", action="store_true",
-                            help="shrink sweeps for CI (xext12/xext13/xext14)")
+                            help="shrink sweeps for CI (xext12-xext15)")
     return parser
 
 

@@ -73,6 +73,11 @@ from .xext14 import (
     storm_experiment,
     wedged_link_experiment,
 )
+from .xext15 import (
+    FleetScalePoint,
+    Xext15Result,
+    fleet_experiment,
+)
 from .xcap import (
     BackendComparison,
     ConcurrencyPoint,
@@ -151,4 +156,7 @@ __all__ = [
     "shared_spectra_experiment",
     "storm_experiment",
     "wedged_link_experiment",
+    "FleetScalePoint",
+    "Xext15Result",
+    "fleet_experiment",
 ]

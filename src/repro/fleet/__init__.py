@@ -1,0 +1,62 @@
+"""``repro.fleet`` — sharded multi-room fleet simulation.
+
+The paper's vision is a datacenter where every rack sings; one room,
+one channel and one listener cannot hold a datacenter.  This package
+scales the testbed out: a fleet of N acoustically isolated rooms (each
+with its own Simulator, AcousticChannel and MDNController) is cut into
+contiguous shards and executed either serially (the bit-identical
+reference) or on a process pool, with per-room metrics rolled up into
+one fleet-wide :class:`~repro.obs.MetricsRegistry` via the new merge
+support.  Dispatch rides the PR 6 infra primitives: token-bucket
+admission pacing and a circuit breaker that turns a poisoned pool into
+counted shard failures instead of a crashed run.
+
+Entry points::
+
+    from repro.fleet import FleetSpec, run_fleet
+
+    spec = FleetSpec(num_rooms=50, switches_per_room=20)   # 1000 switches
+    serial = run_fleet(spec, backend="serial")
+    fanned = run_fleet(spec, num_shards=8, backend="process")
+    assert serial.identity_signature() == fanned.identity_signature()
+    print(fanned.metrics.report())
+
+The xext15 experiment (``python -m repro run xext15``) sweeps shard
+count against wall-clock over exactly this API.
+"""
+
+from __future__ import annotations
+
+from .dispatch import FleetDispatcher, ShardFailure
+from .room import RoomReport, run_room
+from .runner import FLEET_GAUGE_POLICY, FleetReport, ShardReport, run_fleet, run_shard
+from .specs import (
+    DEFAULT_FLEET_SEED,
+    DEFAULT_LISTEN_INTERVAL,
+    FaultPlan,
+    FleetConfigError,
+    FleetSpec,
+    RoomSpec,
+    ShardSpec,
+    ensure_picklable,
+)
+
+__all__ = [
+    "DEFAULT_FLEET_SEED",
+    "DEFAULT_LISTEN_INTERVAL",
+    "FLEET_GAUGE_POLICY",
+    "FaultPlan",
+    "FleetConfigError",
+    "FleetDispatcher",
+    "FleetReport",
+    "FleetSpec",
+    "RoomReport",
+    "RoomSpec",
+    "ShardFailure",
+    "ShardReport",
+    "ShardSpec",
+    "ensure_picklable",
+    "run_fleet",
+    "run_room",
+    "run_shard",
+]

@@ -1,0 +1,218 @@
+"""Fleet dispatch: admission-controlled, breaker-guarded shard fan-out.
+
+The process pool is the fleet's one shared, exhaustible resource, and
+it fails in the same two shapes the PR 6 infra layer was built for:
+
+* **storms** — a driver that dumps 1000 shard submissions into the pool
+  at once gives the OS a thundering herd of workers; a
+  :class:`~repro.infra.TokenBucket` paces admissions so submissions
+  enter at a bounded rate (bursts up to ``burst`` pass untouched);
+* **poison** — a shard whose spec crashes every worker it touches
+  would otherwise burn ``attempts x remaining_shards`` doomed
+  executions; a :class:`~repro.infra.CircuitBreaker` over the pool
+  trips after consecutive failures and fast-fails the rest of the run
+  into counted :class:`ShardFailure` records instead.
+
+Failures never take down the fleet run: the driver merges whatever
+succeeded and reports the rest, the same counted-degradation contract
+as ``detections == dispatched + shed``.
+
+Clocks and sleeps are injectable so tests drive pacing deterministically
+without real waiting; results are unaffected either way — pacing moves
+*when* a shard runs, never what it computes.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable
+
+from .. import obs
+from ..infra import BreakerState, CircuitBreaker, TokenBucket
+from .specs import ShardSpec, ensure_picklable
+
+
+@dataclass
+class ShardFailure:
+    """One shard that never produced a report."""
+
+    shard_id: int
+    error: str
+    attempts: int
+    #: True when the breaker fast-failed the shard without running it.
+    fast_failed: bool = False
+
+
+class FleetDispatcher:
+    """Runs shard specs through a worker pool under infra guardrails.
+
+    Parameters
+    ----------
+    admission:
+        Optional token bucket pacing shard submission (rate in
+        shards/second against the dispatch clock).  ``None`` admits
+        everything immediately.
+    breaker:
+        Optional circuit breaker over the pool.  ``None`` builds one
+        with ``failure_threshold=3``; pass an explicit breaker to tune,
+        or share one across fleet runs.
+    max_attempts:
+        Executions allowed per shard before it is recorded as failed
+        (transient worker deaths get a retry; poison does not loop).
+    clock, sleep:
+        Injectable time source / wait primitive for the pacing loop.
+    """
+
+    def __init__(
+        self,
+        admission: TokenBucket | None = None,
+        breaker: CircuitBreaker | None = None,
+        max_attempts: int = 2,
+        clock: Callable[[], float] = _time.monotonic,
+        sleep: Callable[[float], None] = _time.sleep,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.admission = admission
+        self.breaker = breaker or CircuitBreaker(
+            "fleet.pool", failure_threshold=3, recovery_timeout=1.0
+        )
+        self.max_attempts = max_attempts
+        self._clock = clock
+        self._sleep = sleep
+        self._m_dispatched = obs.counter("fleet.shards_dispatched")
+        self._m_retried = obs.counter("fleet.shards_retried")
+        self._m_failed = obs.counter("fleet.shards_failed")
+
+    # ------------------------------------------------------------------
+
+    def _admit(self) -> None:
+        """Block (via the injectable sleep) until the bucket admits."""
+        if self.admission is None:
+            return
+        while not self.admission.admit(self._clock()):
+            shortfall = 1.0 - self.admission.peek(self._clock())
+            self._sleep(max(shortfall / self.admission.rate, 1e-4))
+
+    def run(
+        self,
+        shards: tuple[ShardSpec, ...],
+        runner: Callable,
+        workers: int,
+    ) -> tuple[list, list[ShardFailure]]:
+        """Execute ``runner(shard)`` for every shard on a process pool.
+
+        Returns ``(reports, failures)`` with reports sorted by
+        ``shard_id`` — completion order is scheduling noise and must
+        never leak into merge order.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        for shard in shards:
+            ensure_picklable(shard, f"ShardSpec(shard_id={shard.shard_id})")
+        reports: list = []
+        failures: list[ShardFailure] = []
+        attempts: dict[int, int] = {shard.shard_id: 0 for shard in shards}
+        by_id = {shard.shard_id: shard for shard in shards}
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending: dict = {}
+            queue = list(shards)
+            while queue or pending:
+                while queue:
+                    shard = queue.pop(0)
+                    if not self.breaker.allow(self._clock()):
+                        failures.append(ShardFailure(
+                            shard_id=shard.shard_id,
+                            error=f"breaker {self.breaker.state} "
+                                  f"(pool judged unhealthy)",
+                            attempts=attempts[shard.shard_id],
+                            fast_failed=True,
+                        ))
+                        self._m_failed.inc()
+                        continue
+                    self._admit()
+                    attempts[shard.shard_id] += 1
+                    self._m_dispatched.inc()
+                    pending[pool.submit(runner, shard)] = shard
+                if not pending:
+                    break
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    shard = pending.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        self.breaker.record_success(self._clock())
+                        reports.append(future.result())
+                        continue
+                    self.breaker.record_failure(self._clock())
+                    if attempts[shard.shard_id] < self.max_attempts:
+                        self._m_retried.inc()
+                        queue.append(by_id[shard.shard_id])
+                    else:
+                        failures.append(ShardFailure(
+                            shard_id=shard.shard_id,
+                            error=repr(error),
+                            attempts=attempts[shard.shard_id],
+                        ))
+                        self._m_failed.inc()
+        reports.sort(key=lambda report: report.shard_id)
+        failures.sort(key=lambda failure: failure.shard_id)
+        return reports, failures
+
+    def run_serial(
+        self,
+        shards: tuple[ShardSpec, ...],
+        runner: Callable,
+    ) -> tuple[list, list[ShardFailure]]:
+        """The in-process reference path, under the same guardrails.
+
+        No pool, no pickling requirement — but the breaker and retry
+        accounting behave identically, so the serial backend exercises
+        the exact failure semantics the parallel one has.
+        """
+        reports: list = []
+        failures: list[ShardFailure] = []
+        for shard in shards:
+            attempts = 0
+            while True:
+                if not self.breaker.allow(self._clock()):
+                    failures.append(ShardFailure(
+                        shard_id=shard.shard_id,
+                        error=f"breaker {self.breaker.state} "
+                              f"(pool judged unhealthy)",
+                        attempts=attempts,
+                        fast_failed=True,
+                    ))
+                    self._m_failed.inc()
+                    break
+                self._admit()
+                attempts += 1
+                self._m_dispatched.inc()
+                try:
+                    report = runner(shard)
+                except Exception as error:
+                    self.breaker.record_failure(self._clock())
+                    if attempts < self.max_attempts:
+                        self._m_retried.inc()
+                        continue
+                    failures.append(ShardFailure(
+                        shard_id=shard.shard_id,
+                        error=repr(error),
+                        attempts=attempts,
+                    ))
+                    self._m_failed.inc()
+                    break
+                else:
+                    self.breaker.record_success(self._clock())
+                    reports.append(report)
+                    break
+        return reports, failures
+
+
+__all__ = [
+    "BreakerState",
+    "FleetDispatcher",
+    "ShardFailure",
+]

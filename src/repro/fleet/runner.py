@@ -1,0 +1,207 @@
+"""The fleet driver: shard execution backends and merged observability.
+
+Two backends, same pattern as the channel's ``render_at`` /
+``render_at_reference`` pair:
+
+* ``backend="serial"`` — the in-process reference: every shard runs in
+  this interpreter, in shard order.  Slow, obviously correct.
+* ``backend="process"`` — a ``ProcessPoolExecutor`` fan-out through
+  :class:`~repro.fleet.dispatch.FleetDispatcher` (token-bucket paced,
+  circuit-breaker guarded).  Rooms are acoustically isolated, so
+  shards share no state and the pool is embarrassingly parallel.
+
+Both produce the same :class:`FleetReport`: per-room results merged in
+global room order, with the new ``MetricsRegistry.merge`` rolling every
+shard's simulation-deterministic metrics into one fleet-wide registry.
+``FleetReport.identity_signature()`` is the equality contract the
+tests pin: serial and process backends — at any shard count — must
+match it exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import time as _time
+from dataclasses import dataclass, field
+
+from ..obs import MetricsRegistry
+from .dispatch import FleetDispatcher, ShardFailure
+from .room import RoomReport, run_room
+from .specs import FleetSpec, ShardSpec
+
+#: Gauges roll up with the peak policy fleet-wide (the one gauge the
+#: rooms emit is a peak; last-write across isolated rooms would be
+#: meaningless).
+FLEET_GAUGE_POLICY = "max"
+
+
+@dataclass
+class ShardReport:
+    """One shard's rooms, rolled up for the trip home.
+
+    Compact by construction: per-room counts plus one merged registry —
+    never signals, channels or simulators — so a 1000-room fleet's
+    results fit in a few hundred kilobytes of pickled reports.
+    """
+
+    shard_id: int
+    rooms: list[RoomReport]
+    metrics: MetricsRegistry
+    wall_s: float = 0.0
+
+    @property
+    def emissions(self) -> int:
+        return sum(room.emissions for room in self.rooms)
+
+    @property
+    def onsets(self) -> int:
+        return sum(room.onsets for room in self.rooms)
+
+    @property
+    def delivered(self) -> int:
+        return sum(room.delivered for room in self.rooms)
+
+    @property
+    def delivery_ratio(self) -> float:
+        emissions = self.emissions
+        return self.delivered / emissions if emissions else 0.0
+
+
+def run_shard(spec: ShardSpec) -> ShardReport:
+    """Execute one shard's rooms sequentially (the worker entry point).
+
+    Must stay a module-level function: the process backend pickles it
+    by reference into every worker.
+    """
+    wall_start = _time.perf_counter()
+    rooms = [run_room(room_spec) for room_spec in spec.rooms]
+    metrics = MetricsRegistry()
+    for room in rooms:
+        metrics.merge(room.metrics, gauge_policy=FLEET_GAUGE_POLICY)
+    return ShardReport(
+        shard_id=spec.shard_id,
+        rooms=rooms,
+        metrics=metrics,
+        wall_s=_time.perf_counter() - wall_start,
+    )
+
+
+@dataclass
+class FleetReport:
+    """The merged view of one fleet execution."""
+
+    spec: FleetSpec
+    backend: str
+    num_shards: int
+    workers: int
+    shards: list[ShardReport]
+    failures: list[ShardFailure]
+    #: Fleet-wide rollup of every room's registry, in room order.
+    metrics: MetricsRegistry
+    wall_s: float = 0.0
+    cpu_count: int = field(default_factory=lambda: os.cpu_count() or 1)
+
+    @property
+    def rooms(self) -> list[RoomReport]:
+        """Every room report, in global room order."""
+        ordered = [room for shard in self.shards for room in shard.rooms]
+        ordered.sort(key=lambda room: room.room_id)
+        return ordered
+
+    @property
+    def emissions(self) -> int:
+        return sum(shard.emissions for shard in self.shards)
+
+    @property
+    def onsets(self) -> int:
+        return sum(shard.onsets for shard in self.shards)
+
+    @property
+    def delivered(self) -> int:
+        return sum(shard.delivered for shard in self.shards)
+
+    @property
+    def delivery_ratio(self) -> float:
+        emissions = self.emissions
+        return self.delivered / emissions if emissions else 0.0
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated time across rooms (rooms run concurrently
+        in the fiction; the simulator work is per-room horizon)."""
+        return self.spec.horizon * sum(
+            len(shard.rooms) for shard in self.shards
+        )
+
+    @property
+    def real_time_factor(self) -> float:
+        """Simulated seconds delivered per wall-clock second."""
+        return self.simulated_seconds / self.wall_s if self.wall_s else 0.0
+
+    def identity_signature(self) -> dict:
+        """Everything deterministic: per-room signatures (in room
+        order) plus the merged metrics snapshot.  Wall-clock fields and
+        shard grouping are excluded — they are execution detail, not
+        result."""
+        return {
+            "rooms": [room.identity_signature() for room in self.rooms],
+            "metrics": self.metrics.snapshot(),
+        }
+
+
+def run_fleet(
+    spec: FleetSpec,
+    num_shards: int = 1,
+    backend: str = "serial",
+    workers: int | None = None,
+    dispatcher: FleetDispatcher | None = None,
+) -> FleetReport:
+    """Partition the fleet into shards and execute them.
+
+    Parameters
+    ----------
+    spec:
+        The fleet topology.
+    num_shards:
+        How many contiguous room-groups to cut the fleet into.
+    backend:
+        ``"serial"`` (reference) or ``"process"`` (pool).
+    workers:
+        Pool width for the process backend; defaults to ``num_shards``.
+    dispatcher:
+        Guardrail configuration; a default (no admission pacing,
+        3-failure breaker, one retry) is built when omitted.
+    """
+    if backend not in ("serial", "process"):
+        raise ValueError(f"unknown fleet backend {backend!r}")
+    wall_start = _time.perf_counter()
+    shard_specs = spec.shard_specs(num_shards)
+    dispatcher = dispatcher or FleetDispatcher()
+    if backend == "serial":
+        reports, failures = dispatcher.run_serial(shard_specs, run_shard)
+    else:
+        reports, failures = dispatcher.run(
+            shard_specs, run_shard, workers=workers or num_shards
+        )
+    # Merge from the room *leaves* in global room order, not from the
+    # per-shard rollups: float summation is non-associative, so a
+    # hierarchical rollup would make the merged histogram mean depend
+    # on the shard count in the last ulp — breaking the bit-identity
+    # contract between shard counts.
+    metrics = MetricsRegistry()
+    ordered = sorted(
+        (room for shard in reports for room in shard.rooms),
+        key=lambda room: room.room_id,
+    )
+    for room in ordered:
+        metrics.merge(room.metrics, gauge_policy=FLEET_GAUGE_POLICY)
+    return FleetReport(
+        spec=spec,
+        backend=backend,
+        num_shards=num_shards,
+        workers=(workers or num_shards) if backend == "process" else 1,
+        shards=reports,
+        failures=failures,
+        metrics=metrics,
+        wall_s=_time.perf_counter() - wall_start,
+    )

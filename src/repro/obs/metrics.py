@@ -45,6 +45,11 @@ class Counter:
             raise ValueError(f"counter increments must be >= 0, got {amount}")
         self.value += amount
 
+    def merge(self, other: "Counter") -> "Counter":
+        """Fold another counter's total into this one (fleet rollup)."""
+        self.value += other.value
+        return self
+
     def snapshot(self) -> dict:
         return {"type": "counter", "value": self.value}
 
@@ -62,6 +67,28 @@ class Gauge:
     def set(self, value: float) -> None:
         self.value = value
         self.updates += 1
+
+    def merge(self, other: "Gauge | CallbackGauge",
+              policy: str = "last") -> "Gauge":
+        """Fold another gauge in under ``policy``.
+
+        ``"last"`` — merge order wins: the other gauge's value replaces
+        this one's, provided the other was ever set (an untouched gauge
+        never overwrites a live reading).  ``"max"`` — keep the larger
+        of the two live readings (peak rollup, e.g. per-shard heap
+        peaks).  A :class:`CallbackGauge` on the other side is sampled
+        at merge time and treated as a single live update.
+        """
+        if policy not in ("last", "max"):
+            raise ValueError(f"unknown gauge merge policy {policy!r}")
+        other_updates = getattr(other, "updates", 1)
+        if other_updates:
+            other_value = other.value
+            if policy == "last" or not self.updates \
+                    or other_value > self.value:
+                self.value = other_value
+        self.updates += other_updates
+        return self
 
     def snapshot(self) -> dict:
         return {"type": "gauge", "value": self.value, "updates": self.updates}
@@ -116,18 +143,52 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self._ring_insert(value)
+
+    def _ring_insert(self, value: float) -> None:
+        """Put one sample into the bounded ring (no running stats)."""
         if len(self._samples) < self._capacity:
             self._samples.append(value)
         else:
             self._samples[self._cursor] = value
             self._cursor = (self._cursor + 1) % self._capacity
 
+    def retained_samples(self) -> list[float]:
+        """The ring's samples in observation order (oldest first)."""
+        if len(self._samples) < self._capacity:
+            return list(self._samples)
+        return self._samples[self._cursor:] + self._samples[:self._cursor]
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram in: exact running stats, then the
+        other's retained ring appended in observation order.
+
+        ``count``/``sum``/``min``/``max`` stay exact under any merge;
+        quantiles remain exact while the combined retained samples fit
+        this histogram's capacity and keep the usual recent bias after.
+        Merging an empty histogram is a no-op (an idle shard cannot
+        pollute a fleet rollup with its ``inf`` sentinels).
+        """
+        if other.count == 0:
+            return self
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        for value in other.retained_samples():
+            self._ring_insert(value)
+        return self
+
     @property
     def mean(self) -> float:
+        """Arithmetic mean; 0.0 (never NaN) for an empty histogram."""
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Linear-interpolated quantile over the retained samples."""
+        """Linear-interpolated quantile over the retained samples.
+        An empty histogram reports 0.0 for every quantile."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if not self._samples:
@@ -257,6 +318,58 @@ class MetricsRegistry:
 
     def __len__(self) -> int:
         return len(self._instruments)
+
+    # -- merging -------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry",
+              gauge_policy: str = "last") -> "MetricsRegistry":
+        """Fold another registry into this one, matching by exact name.
+
+        This is the fleet rollup: each shard returns its own registry
+        and the driver merges them (in shard order, for deterministic
+        histogram rings).  Semantics per kind:
+
+        * counters sum;
+        * gauges follow ``gauge_policy`` (``"last"``: merge order wins,
+          ``"max"``: peak rollup) — see :meth:`Gauge.merge`;
+        * histograms combine exact running stats and append retained
+          samples (:meth:`Histogram.merge`);
+        * a :class:`CallbackGauge` on the other side is sampled once
+          into a plain gauge (a callback cannot cross a process
+          boundary; its last reading can).
+
+        Names are **not** re-de-duplicated: shard A's ``arq.sent#2``
+        merges into shard B's ``arq.sent#2``, keeping per-instance
+        streams aligned across shards.  Instruments missing on this
+        side are created; a same-name/different-kind collision raises
+        ``TypeError``.
+        """
+        for name in other.names():
+            theirs = other._instruments[name]
+            if isinstance(theirs, CallbackGauge):
+                sampled = Gauge(name)
+                sampled.set(theirs.value)
+                theirs = sampled
+            mine = self._instruments.get(name)
+            if mine is None:
+                if isinstance(theirs, Counter):
+                    mine = Counter(name)
+                elif isinstance(theirs, Gauge):
+                    mine = Gauge(name)
+                else:
+                    mine = Histogram(name, theirs._capacity)
+                self._instruments[name] = mine
+            if isinstance(mine, CallbackGauge) or \
+                    type(mine) is not type(theirs):
+                raise TypeError(
+                    f"cannot merge {type(theirs).__name__} into metric "
+                    f"{name!r} ({type(mine).__name__})"
+                )
+            if isinstance(mine, Gauge):
+                mine.merge(theirs, policy=gauge_policy)
+            else:
+                mine.merge(theirs)
+        return self
 
     # -- output --------------------------------------------------------
 

@@ -1,0 +1,134 @@
+"""Dispatch guardrails: admission pacing, breaker, retries, pickling."""
+
+import pytest
+
+from repro.fleet import (
+    FleetDispatcher,
+    FleetConfigError,
+    FleetSpec,
+    RoomSpec,
+    ShardSpec,
+)
+from repro.infra import CircuitBreaker, TokenBucket
+
+SHARDS = FleetSpec(num_rooms=4, switches_per_room=2).shard_specs(4)
+
+
+class ManualTime:
+    """Injectable clock + sleep pair: sleeping advances the clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.slept: list[float] = []
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.slept.append(seconds)
+        self.now += seconds
+
+
+def _stub_runner(shard: ShardSpec) -> str:
+    return f"report-{shard.shard_id}"
+
+
+def test_admission_paces_dispatch_without_real_sleeping():
+    time = ManualTime()
+    dispatcher = FleetDispatcher(
+        admission=TokenBucket(2.0, 1.0, name="test.fleet"),
+        clock=time.clock, sleep=time.sleep,
+    )
+    reports, failures = dispatcher.run_serial(SHARDS, _stub_runner)
+    assert reports == [f"report-{i}" for i in range(4)]
+    assert not failures
+    # burst of 1 admits the first shard at t=0; the remaining three wait
+    # out the 2/s refill — ~0.5 s apart on the injected clock.
+    assert time.slept  # pacing happened
+    assert time.now == pytest.approx(1.5, abs=0.1)
+
+
+def test_no_admission_means_no_pacing():
+    time = ManualTime()
+    dispatcher = FleetDispatcher(clock=time.clock, sleep=time.sleep)
+    reports, _ = dispatcher.run_serial(SHARDS, _stub_runner)
+    assert len(reports) == 4
+    assert time.slept == []
+
+
+def test_breaker_trips_on_poisoned_runner_and_fast_fails_the_rest():
+    time = ManualTime()
+    calls = []
+
+    def poisoned(shard):
+        calls.append(shard.shard_id)
+        raise RuntimeError("poison")
+
+    dispatcher = FleetDispatcher(
+        breaker=CircuitBreaker("test.pool", failure_threshold=2,
+                               recovery_timeout=60.0),
+        max_attempts=1, clock=time.clock, sleep=time.sleep,
+    )
+    reports, failures = dispatcher.run_serial(SHARDS, poisoned)
+    assert reports == []
+    assert len(failures) == 4
+    # two real executions trip the breaker; shards 2 and 3 never run
+    assert calls == [0, 1]
+    assert [f.fast_failed for f in failures] == [False, False, True, True]
+    assert all("breaker" in f.error for f in failures if f.fast_failed)
+
+
+def test_transient_failure_gets_one_retry():
+    time = ManualTime()
+    attempts = {}
+
+    def flaky(shard):
+        attempts[shard.shard_id] = attempts.get(shard.shard_id, 0) + 1
+        if attempts[shard.shard_id] == 1 and shard.shard_id == 0:
+            raise OSError("worker died")
+        return f"report-{shard.shard_id}"
+
+    dispatcher = FleetDispatcher(max_attempts=2,
+                                 clock=time.clock, sleep=time.sleep)
+    reports, failures = dispatcher.run_serial(SHARDS, flaky)
+    assert len(reports) == 4
+    assert not failures
+    assert attempts[0] == 2  # failed once, retried, succeeded
+
+
+def test_exhausted_attempts_become_a_counted_failure():
+    time = ManualTime()
+
+    def always_down(shard):
+        if shard.shard_id == 1:
+            raise OSError("worker keeps dying")
+        return f"report-{shard.shard_id}"
+
+    dispatcher = FleetDispatcher(
+        breaker=CircuitBreaker("test.pool2", failure_threshold=10,
+                               recovery_timeout=60.0),
+        max_attempts=2, clock=time.clock, sleep=time.sleep,
+    )
+    reports, failures = dispatcher.run_serial(SHARDS, always_down)
+    assert len(reports) == 3
+    assert [f.shard_id for f in failures] == [1]
+    assert failures[0].attempts == 2
+    assert not failures[0].fast_failed
+
+
+def test_unpicklable_shard_is_rejected_before_the_pool():
+    shard = ShardSpec(shard_id=0, rooms=(
+        RoomSpec(room_id=0, num_switches=2,
+                 scene=lambda sim, channel, rng: None),
+    ))
+    dispatcher = FleetDispatcher()
+    with pytest.raises(FleetConfigError, match="shard_id=0"):
+        dispatcher.run((shard,), _stub_runner, workers=1)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="max_attempts"):
+        FleetDispatcher(max_attempts=0)
+    dispatcher = FleetDispatcher()
+    with pytest.raises(ValueError, match="workers"):
+        dispatcher.run(SHARDS, _stub_runner, workers=0)

@@ -1,0 +1,77 @@
+"""One room, end to end: determinism, delivery accounting, faults."""
+
+import pickle
+
+import pytest
+
+from repro.fleet import FaultPlan, RoomSpec, run_room
+
+#: Small-but-real room: 8 switches for ~0.5 s keeps the test quick
+#: while exercising the full chirp/listen/attribute path.
+SPEC = RoomSpec(room_id=0, num_switches=8, horizon=0.5)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_room(SPEC)
+
+
+def test_room_delivers_its_chirps(report):
+    assert report.emissions > 0
+    assert report.delivered <= report.emissions
+    assert report.delivery_ratio >= 0.9
+    assert report.delivery_ratio <= 1.0  # matched accounting caps at 1
+    assert report.spurious_onsets <= report.onsets
+
+
+def test_room_metrics_mirror_the_report(report):
+    snap = report.metrics.snapshot()
+    assert snap["fleet.rooms"]["value"] == 1
+    assert snap["fleet.switches"]["value"] == SPEC.num_switches
+    assert snap["fleet.emissions"]["value"] == report.emissions
+    assert snap["fleet.delivered"]["value"] == report.delivered
+    assert snap["fleet.spurious_onsets"]["value"] == report.spurious_onsets
+    assert snap["fleet.onset_lag_ms"]["count"] == report.onsets - \
+        report.spurious_onsets
+    # every genuine onset is attributed within the matching horizon
+    max_lag_ms = (SPEC.tone_duration + 2 * SPEC.listen_interval) * 1e3
+    assert snap["fleet.onset_lag_ms"]["max"] <= max_lag_ms
+
+
+def test_two_runs_are_identical(report):
+    again = run_room(SPEC)
+    assert again.identity_signature() == report.identity_signature()
+
+
+def test_wall_clock_stays_out_of_the_signature(report):
+    assert "wall_s" not in report.identity_signature()
+    assert report.wall_s > 0.0
+
+
+def test_different_rooms_differ_but_share_the_band(report):
+    other = run_room(RoomSpec(room_id=1, num_switches=8, horizon=0.5))
+    # same band (spatial reuse), different placement/stagger stream
+    assert other.identity_signature() != report.identity_signature()
+    assert other.emissions > 0
+
+
+def test_different_seed_changes_the_room(report):
+    other = run_room(RoomSpec(room_id=0, num_switches=8, horizon=0.5,
+                              fleet_seed=99))
+    assert other.identity_signature() != report.identity_signature()
+
+
+def test_faults_degrade_delivery_deterministically(report):
+    faulted_spec = RoomSpec(room_id=0, num_switches=8, horizon=0.5,
+                            faults=FaultPlan(speaker_outage_rate=1.0,
+                                             outage_duration=0.4))
+    faulted = run_room(faulted_spec)
+    assert faulted.speaker_outages == SPEC.num_switches
+    assert faulted.delivery_ratio < report.delivery_ratio
+    again = run_room(faulted_spec)
+    assert again.identity_signature() == faulted.identity_signature()
+
+
+def test_report_is_picklable(report):
+    clone = pickle.loads(pickle.dumps(report))
+    assert clone.identity_signature() == report.identity_signature()
