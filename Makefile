@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-micro bench-fleet obs examples figures render-all clean
+.PHONY: install test bench bench-micro bench-fleet bench-workload obs examples figures render-all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -31,6 +31,15 @@ bench-micro:
 bench-fleet:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro run \
 		xext15 $(if $(SMOKE),--smoke)
+
+# Workload benchmark (XEXT16): seeded traffic mixes swept into detector
+# precision/recall, vectorized-driver scale points (up to 10^6 flows)
+# and the >=10x speedup check against the per-flow reference.  Writes
+# .benchmarks/BENCH_workload.json (override with
+# BENCH_WORKLOAD_JSON=path; SMOKE=1 shrinks the mixes for CI).
+bench-workload:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro run \
+		xext16 $(if $(SMOKE),--smoke)
 
 # Instrumented run of one experiment (default fig5ab) under repro.obs:
 # prints the metric/trace report and exports .benchmarks/OBS_<fig>.json.

@@ -605,3 +605,24 @@ def test_perf_spectrogram_batched_speedup():
     print(f"\npower_spectrogram 10s/50ms: looped {looped_s*1e3:.2f} ms, "
           f"batched {batched_s*1e3:.2f} ms, speedup {speedup:.1f}x")
     assert speedup >= 3.0
+
+
+@pytest.mark.perf
+def test_perf_workload_driver_vs_perflow_sources():
+    """The columnar VectorizedFlowDriver must beat the per-flow-object
+    source chain by >= 10x at 10k flows while emitting the identical
+    per-flow packet counts (XEXT16 acceptance gate)."""
+    from repro.experiments.xext16 import measure_speedup
+
+    point = measure_speedup(num_flows=10_000, duration=2.0)
+    assert point.counts_match, "vectorized/per-flow packet counts diverged"
+    _record_perf("workload_driver_10k_flows_2s", {
+        "packets": point.packets_vectorized,
+        "reference_s": point.reference_wall_s,
+        "vectorized_s": point.vectorized_wall_s,
+        "speedup": point.speedup,
+    })
+    print(f"\nVectorizedFlowDriver 10k flows/2s: per-flow "
+          f"{point.reference_wall_s:.2f} s, vectorized "
+          f"{point.vectorized_wall_s:.2f} s, speedup {point.speedup:.1f}x")
+    assert point.speedup >= 10.0

@@ -23,6 +23,12 @@ from typing import Callable
 from . import experiments
 
 
+def _workload_mix_names() -> list[str]:
+    from .net.workload import WORKLOAD_MIXES
+
+    return list(WORKLOAD_MIXES)
+
+
 def _print_table(title: str, rows: list[tuple]) -> None:
     print(f"\n== {title}")
     widths = [max(len(str(row[col])) for row in rows)
@@ -66,9 +72,24 @@ def run_fig3(args: argparse.Namespace) -> None:
           f"port opened at t = {result.opened_at:.1f} s")
 
 
+def _print_precision_recall(label: str, pr: dict | None) -> None:
+    if pr is None:
+        return
+    print(f"   {label} vs ground truth: "
+          f"precision {pr['precision']:.2f}  recall {pr['recall']:.2f}  "
+          f"(tp {pr['true_positives']}, fp {pr['false_positives']}, "
+          f"fn {pr['false_negatives']})")
+
+
 def run_fig4ab(args: argparse.Namespace) -> None:
-    result = experiments.heavy_hitter_experiment(with_song=args.song)
+    workload = getattr(args, "workload", None)
+    result = experiments.heavy_hitter_experiment(
+        with_song=args.song, workload=workload,
+        num_flows=32 if workload else 10,
+    )
     condition = "with song" if args.song else "clean"
+    if workload:
+        condition += f", workload {workload}"
     rows = [("interval end", "heavy-bucket windows")]
     rows += [(f"{t:.0f}", int(v)) for t, v in zip(
         result.per_interval_heavy_counts.times,
@@ -78,21 +99,29 @@ def run_fig4ab(args: argparse.Namespace) -> None:
           f"{result.heavy_frequency:.0f} Hz; detected: "
           f"{result.heavy_detected}; false positives: "
           f"{len(result.false_positive_frequencies)}")
+    _print_precision_recall("heavy hitter", result.precision_recall)
 
 
 def run_fig4cd(args: argparse.Namespace) -> None:
-    result = experiments.port_scan_experiment(with_song=args.song)
+    workload = getattr(args, "workload", None)
+    result = experiments.port_scan_experiment(with_song=args.song,
+                                              workload=workload)
     condition = "with song" if args.song else "clean"
+    if workload:
+        condition += f", workload {workload}"
     _print_table(f"Fig 4c/d ({condition}): port scan detection", [
         ("scan detected", result.scan_detected),
         ("ports heard", len(result.ports_heard)),
         ("sweep order preserved",
          result.ports_heard == sorted(result.ports_heard)),
     ])
+    _print_precision_recall("port scan", result.precision_recall)
 
 
 def run_fig5ab(args: argparse.Namespace) -> None:
-    result = experiments.load_balancing_experiment()
+    result = experiments.load_balancing_experiment(
+        workload=getattr(args, "workload", None)
+    )
     rows = [("t (s)", "queue pkts")]
     rows += [(f"{t:.1f}", int(v)) for t, v in zip(
         result.queue_series.times[::2], result.queue_series.values[::2])]
@@ -100,6 +129,9 @@ def run_fig5ab(args: argparse.Namespace) -> None:
                  rows)
     print(f"   split installed at t = {result.split_time:.2f} s "
           f"(paper run: 3.7 s); final queue {result.final_queue:.0f}")
+    if result.workload:
+        print(f"   background workload {result.workload}: "
+              f"{result.background_packets} packets")
 
 
 def run_fig5cd(args: argparse.Namespace) -> None:
@@ -135,11 +167,15 @@ def run_fig7(args: argparse.Namespace) -> None:
 
 
 def run_xbase(args: argparse.Namespace) -> None:
-    sketch = experiments.sketch_vs_mdn()
+    workload = getattr(args, "workload", None)
+    sketch = experiments.sketch_vs_mdn(
+        workload=workload, num_flows=32 if workload else 10,
+    )
     _print_table("XBASE1: sketch vs MDN", [
         ("MDN / sketch detected", f"{sketch.mdn_detected} / "
          f"{sketch.sketch_detected}"),
     ])
+    _print_precision_recall("MDN detector", sketch.mdn_precision_recall)
     ecn = experiments.ecn_vs_mdn()
     _print_table("XBASE2: notification latency", [
         ("MDN tone", f"{ecn.mdn_latency * 1000:.0f} ms"),
@@ -330,6 +366,42 @@ def run_xext15(args: argparse.Namespace) -> None:
     print(f"\n   wrote {path}")
 
 
+def run_xext16(args: argparse.Namespace) -> None:
+    result = experiments.workload_experiment(
+        smoke=getattr(args, "smoke", False)
+    )
+    _print_table(
+        f"XEXT16: workload mixes over {result.mix_duration:.0f} s "
+        f"({result.num_buckets} buckets, "
+        f"{result.presence_period * 1000:.0f} ms presence grid)", [
+            (point.name,
+             f"{point.num_flows} flows, {point.packets} pkts  "
+             f"hh P/R {point.heavy_hitter['precision']:.2f}/"
+             f"{point.heavy_hitter['recall']:.2f}  "
+             f"scan P/R {point.port_scan['precision']:.2f}/"
+             f"{point.port_scan['recall']:.2f}  "
+             f"({point.wall_s:.2f} s wall)")
+            for point in result.mixes
+        ])
+    _print_table("XEXT16: vectorized driver scale", [
+        (f"{point.num_flows:>9,} flows",
+         f"{point.packets:>9,} pkts  build {point.build_s:5.2f} s  "
+         f"run {point.run_s:5.2f} s  "
+         f"{point.packets_per_wall_second:>9,.0f} pkt/s")
+        for point in result.scale
+    ])
+    speedup = result.speedup
+    _print_table("XEXT16: vectorized vs per-flow reference", [
+        (f"{speedup.num_flows:,} flows",
+         f"vector {speedup.vectorized_wall_s:.3f} s  "
+         f"reference {speedup.reference_wall_s:.3f} s  "
+         f"speedup {speedup.speedup:.1f}x  "
+         f"counts identical: {speedup.counts_match}"),
+    ])
+    path = result.export()
+    print(f"\n   wrote {path}")
+
+
 def run_obs(args: argparse.Namespace) -> None:
     """Run one experiment under ``repro.obs`` and print/export metrics."""
     from pathlib import Path
@@ -383,6 +455,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
                run_xext14),
     "xext15": ("fleet scale-out (sharded rooms, merged observability)",
                run_xext15),
+    "xext16": ("workload generator (mixes -> precision/recall, scale)",
+               run_xext16),
 }
 
 
@@ -484,7 +558,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--samples", type=int, default=1000,
                             help="sample count for fig2b")
     run_parser.add_argument("--smoke", action="store_true",
-                            help="shrink sweeps for CI (xext12-xext15)")
+                            help="shrink sweeps for CI (xext12-xext16)")
+    run_parser.add_argument(
+        "--workload", choices=sorted(_workload_mix_names()), default=None,
+        help="drive fig4*/fig5ab/xbase with a named seeded workload mix",
+    )
 
     render_parser = subparsers.add_parser(
         "render", help="write experiment audio to a WAV file"
@@ -510,7 +588,11 @@ def build_parser() -> argparse.ArgumentParser:
     obs_parser.add_argument("--samples", type=int, default=1000,
                             help="sample count for fig2b")
     obs_parser.add_argument("--smoke", action="store_true",
-                            help="shrink sweeps for CI (xext12-xext15)")
+                            help="shrink sweeps for CI (xext12-xext16)")
+    obs_parser.add_argument(
+        "--workload", choices=sorted(_workload_mix_names()), default=None,
+        help="drive fig4*/fig5ab/xbase with a named seeded workload mix",
+    )
     return parser
 
 

@@ -1,6 +1,15 @@
 """The six Music-Defined Networking applications from the paper."""
 
 from .discovery import BOOT_TUNE, BootAnnouncer, BootAnnouncement, DiscoveryApp
+from .evaluation import (
+    PrecisionRecall,
+    heavy_hitter_curve,
+    heavy_hitter_truth_buckets,
+    port_scan_curve,
+    scan_truth_intervals,
+    score_heavy_hitter,
+    score_port_scan,
+)
 from .failover import FailoverEvent, FailoverManager, InbandFallback
 from .fan_watchdog import (
     FanAlert,
@@ -80,6 +89,13 @@ __all__ = [
     "MelodyAuthenticator",
     "PortKnockingApp",
     "PortScanDetectorApp",
+    "PrecisionRecall",
+    "heavy_hitter_curve",
+    "heavy_hitter_truth_buckets",
+    "port_scan_curve",
+    "scan_truth_intervals",
+    "score_heavy_hitter",
+    "score_port_scan",
     "PortScanEmitter",
     "PortToneMapper",
     "QueueChirper",

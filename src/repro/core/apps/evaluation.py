@@ -1,0 +1,216 @@
+"""Ground-truth scoring for workload-driven detector runs.
+
+The workload layer (:mod:`repro.net.workload`) knows which flows are
+*truly* elephants and which packets belong to a scan campaign — the
+``labels`` column of the :class:`~repro.net.flowpop.FlowPopulation`.
+This module turns detector output plus those labels into
+precision/recall, at two granularities that match how each app
+actually decides:
+
+* **heavy hitter** — bucket-level: the detector alerts on hash
+  buckets, so truth is "buckets containing at least one elephant" and
+  a collision-induced alert on a mouse-only bucket is a false
+  positive, exactly as in any sketch.
+* **port scan** — interval-level: the detector alerts on measurement
+  intervals, so truth is "intervals in which scan-labeled packets
+  covered more than a threshold of distinct monitored ports".
+
+Both scores can be swept over the decision threshold *post hoc* from
+the app's closed interval histograms — no re-run per curve point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...net.flowpop import LABEL_ELEPHANT, LABEL_SCAN, FlowPopulation
+from ..frequency_plan import Allocation
+from .heavy_hitter import HeavyHitterDetectorApp
+from .port_scan import PortScanDetectorApp
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """One detector operating point against ground truth."""
+
+    precision: float
+    recall: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @classmethod
+    def from_sets(cls, predicted: set, truth: set) -> "PrecisionRecall":
+        """Score a predicted set against a truth set.
+
+        Conventions: with no predictions precision is 1.0 (nothing
+        claimed, nothing wrong); with no truth recall is 1.0 (nothing
+        to find, nothing missed).
+        """
+        tp = len(predicted & truth)
+        fp = len(predicted - truth)
+        fn = len(truth - predicted)
+        precision = tp / (tp + fp) if (tp + fp) else 1.0
+        recall = tp / (tp + fn) if (tp + fn) else 1.0
+        return cls(precision, recall, tp, fp, fn)
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return (2 * self.precision * self.recall
+                / (self.precision + self.recall))
+
+    def as_dict(self) -> dict:
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "true_positives": self.true_positives,
+            "false_positives": self.false_positives,
+            "false_negatives": self.false_negatives,
+        }
+
+
+# ----------------------------------------------------------------------
+# Heavy hitter: bucket-level truth
+# ----------------------------------------------------------------------
+
+
+def heavy_hitter_truth_buckets(
+    population: FlowPopulation, num_buckets: int
+) -> set[int]:
+    """Buckets containing at least one ground-truth elephant."""
+    elephants = population.indices_with_label(LABEL_ELEPHANT)
+    static = elephants[population.static[elephants]]
+    buckets = population.stable_hashes[static] % np.uint64(num_buckets)
+    return set(buckets.astype(np.int64).tolist())
+
+
+def heavy_hitter_predicted_buckets(
+    app: HeavyHitterDetectorApp, threshold: int | None = None
+) -> set[int]:
+    """Buckets the detector would flag at ``threshold`` (default: the
+    app's configured threshold — i.e. its actual alerts)."""
+    allocation: Allocation = app.mapper.allocation
+    if threshold is None or threshold == app.count_threshold:
+        return {
+            allocation.index_of(alert.frequency) for alert in app.alerts
+        }
+    predicted: set[int] = set()
+    for interval in app.counter.closed:
+        for frequency, count in interval.counts.items():
+            if count > threshold:
+                predicted.add(allocation.index_of(frequency))
+    return predicted
+
+
+def score_heavy_hitter(
+    app: HeavyHitterDetectorApp, population: FlowPopulation
+) -> PrecisionRecall:
+    """The app's alerts vs the population's elephant buckets."""
+    truth = heavy_hitter_truth_buckets(population, len(app.mapper.allocation))
+    return PrecisionRecall.from_sets(
+        heavy_hitter_predicted_buckets(app), truth
+    )
+
+
+def heavy_hitter_curve(
+    app: HeavyHitterDetectorApp,
+    population: FlowPopulation,
+    thresholds: list[int],
+) -> list[tuple[int, PrecisionRecall]]:
+    """Threshold-swept precision/recall, post hoc from closed
+    intervals (the run is not repeated per point)."""
+    truth = heavy_hitter_truth_buckets(population, len(app.mapper.allocation))
+    return [
+        (threshold, PrecisionRecall.from_sets(
+            heavy_hitter_predicted_buckets(app, threshold), truth))
+        for threshold in thresholds
+    ]
+
+
+# ----------------------------------------------------------------------
+# Port scan: interval-level truth
+# ----------------------------------------------------------------------
+
+
+def scan_truth_intervals(
+    population: FlowPopulation,
+    port_range: range,
+    interval: float,
+    duration: float,
+    min_distinct_ports: int = 5,
+) -> set[float]:
+    """Interval starts in which scan-labeled packets probed more than
+    ``min_distinct_ports`` distinct monitored ports — computed from the
+    population's closed-form departure schedule, not from any detector."""
+    scan_rows = set(population.indices_with_label(LABEL_SCAN).tolist())
+    if not scan_rows:
+        return set()
+    times, flow_idx, ks = population.departures_between(0.0, duration)
+    is_scan = np.isin(flow_idx, list(scan_rows))
+    if not is_scan.any():
+        return set()
+    times, flow_idx, ks = times[is_scan], flow_idx[is_scan], ks[is_scan]
+    ports = population.dst_ports_for(flow_idx, ks)
+    monitored = (ports >= port_range.start) & (ports < port_range.stop)
+    if not monitored.any():
+        return set()
+    slots = np.floor_divide(times[monitored], interval).astype(np.int64)
+    span = np.int64(len(port_range))
+    packed = np.unique(slots * span + (ports[monitored] - port_range.start))
+    per_slot = np.bincount((packed // span).astype(np.int64))
+    hot = np.nonzero(per_slot > min_distinct_ports)[0]
+    return {float(slot) * interval for slot in hot.tolist()}
+
+
+def port_scan_predicted_intervals(
+    app: PortScanDetectorApp, threshold: int | None = None
+) -> set[float]:
+    """Interval starts the detector would flag at ``threshold``."""
+    if threshold is None or threshold == app.distinct_threshold:
+        return {alert.interval_start for alert in app.alerts}
+    return {
+        interval.start for interval in app.counter.closed
+        if interval.distinct > threshold
+    }
+
+
+def score_port_scan(
+    app: PortScanDetectorApp,
+    population: FlowPopulation,
+    port_range: range,
+    duration: float,
+) -> PrecisionRecall:
+    """The app's alerts vs scan-campaign truth intervals (truth uses
+    the app's own threshold as the coverage bar)."""
+    truth = scan_truth_intervals(
+        population, port_range, app.interval, duration,
+        min_distinct_ports=app.distinct_threshold,
+    )
+    return PrecisionRecall.from_sets(
+        port_scan_predicted_intervals(app), truth
+    )
+
+
+def port_scan_curve(
+    app: PortScanDetectorApp,
+    population: FlowPopulation,
+    port_range: range,
+    duration: float,
+    thresholds: list[int],
+) -> list[tuple[int, PrecisionRecall]]:
+    """Threshold-swept precision/recall with truth held fixed at the
+    app's configured coverage bar."""
+    truth = scan_truth_intervals(
+        population, port_range, app.interval, duration,
+        min_distinct_ports=app.distinct_threshold,
+    )
+    return [
+        (threshold, PrecisionRecall.from_sets(
+            port_scan_predicted_intervals(app, threshold), truth))
+        for threshold in thresholds
+    ]

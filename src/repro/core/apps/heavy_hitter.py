@@ -36,9 +36,13 @@ class FlowToneMapper:
             raise ValueError("allocation must hold at least one frequency")
         self.allocation = allocation
 
+    def bucket_of(self, flow: FlowKey) -> int:
+        """The hash bucket a flow sounds from.  Stable across a
+        :meth:`rebind` — buckets name sketch slots, not tones."""
+        return flow.stable_hash() % len(self.allocation)
+
     def frequency_of(self, flow: FlowKey) -> float:
-        bucket = flow.stable_hash() % len(self.allocation)
-        return self.allocation.frequency_for(bucket)
+        return self.allocation.frequency_for(self.bucket_of(flow))
 
     def rebind(self, allocation: Allocation) -> None:
         """Adopt a migrated allocation (spectrum agility PLAN_COMMIT):
@@ -81,19 +85,26 @@ class HeavyHitterEmitter:
         self.emission_period = emission_period
         self.tone_duration = tone_duration
         self.tone_level_db = tone_level_db
-        self._last_emission: dict[float, float] = {}
+        #: Per-bucket rate-limit state, keyed by bucket *index* — never
+        #: by frequency.  A spectrum-agility ``FlowToneMapper.rebind``
+        #: retunes every bucket to a new tone; frequency keys would
+        #: orphan all the old entries (unbounded growth across
+        #: migrations) and reset every bucket's limiter at commit,
+        #: releasing a synchronized tone burst into the new slots.
+        self._last_emission: dict[int, float] = {}
         self.tones_requested = 0
         switch.on_forward(self._on_forward)
 
     def _on_forward(self, packet: Packet, in_port: int, out_port: int) -> None:
-        frequency = self.mapper.frequency_of(packet.flow)
+        bucket = self.mapper.bucket_of(packet.flow)
         now = self.switch.sim.now
-        last = self._last_emission.get(frequency)
+        last = self._last_emission.get(bucket)
         if last is not None and now - last < self.emission_period:
             return
-        self._last_emission[frequency] = now
+        self._last_emission[bucket] = now
         self.tones_requested += 1
-        self.agent.play(frequency, self.tone_duration, self.tone_level_db)
+        self.agent.play(self.mapper.allocation.frequency_for(bucket),
+                        self.tone_duration, self.tone_level_db)
 
 
 @dataclass(frozen=True)
@@ -136,7 +147,12 @@ class HeavyHitterDetectorApp:
         self.count_threshold = count_threshold
         self.counter = ToneCounter(interval)
         self.alerts: list[HeavyHitterAlert] = []
-        self._alerted: set[tuple[float, float]] = set()
+        #: Scan cursor over ``counter.closed``: every closed interval
+        #: is inspected exactly once, keeping ``_scan_closed`` O(new
+        #: intervals) per window instead of O(total run length) — the
+        #: full rescan (plus its ever-growing dedup set) was quadratic
+        #: over the run and fatal under million-flow workloads.
+        self._scan_cursor = 0
         frequencies = list(mapper.allocation.frequencies)
         controller.watch(frequencies, on_detection=self.counter.observe)
         controller.on_window(self._on_window)
@@ -155,14 +171,14 @@ class HeavyHitterDetectorApp:
         self._scan_closed()
 
     def _scan_closed(self) -> None:
-        for interval in self.counter.closed:
+        closed = self.counter.closed
+        for interval in closed[self._scan_cursor:]:
             for frequency, count in sorted(interval.counts.items()):
-                key = (interval.start, frequency)
-                if count > self.count_threshold and key not in self._alerted:
-                    self._alerted.add(key)
+                if count > self.count_threshold:
                     self.alerts.append(
                         HeavyHitterAlert(interval.start, frequency, count)
                     )
+        self._scan_cursor = len(closed)
 
     def heavy_frequencies(self) -> set[float]:
         """All buckets ever flagged heavy."""

@@ -124,7 +124,12 @@ class PortScanDetectorApp:
         self.distinct_threshold = distinct_threshold
         self.counter = ToneCounter(interval)
         self.alerts: list[ScanAlert] = []
-        self._alerted_intervals: set[float] = set()
+        #: Scan cursor over ``counter.closed`` — each closed interval
+        #: is judged exactly once, so the per-window cost is O(new
+        #: intervals), not O(run length) (the previous full rescan via
+        #: ``intervals_with_distinct_over`` plus an unbounded dedup set
+        #: was quadratic over the run).
+        self._scan_cursor = 0
         controller.watch(
             mapper.monitored_frequencies(), on_onset=self.counter.observe
         )
@@ -142,12 +147,11 @@ class PortScanDetectorApp:
         self._scan_closed()
 
     def _scan_closed(self) -> None:
-        for interval in self.counter.intervals_with_distinct_over(
-            self.distinct_threshold
-        ):
-            if interval.start not in self._alerted_intervals:
-                self._alerted_intervals.add(interval.start)
+        closed = self.counter.closed
+        for interval in closed[self._scan_cursor:]:
+            if interval.distinct > self.distinct_threshold:
                 self.alerts.append(ScanAlert(interval.start, interval.distinct))
+        self._scan_cursor = len(closed)
 
     @property
     def scan_detected(self) -> bool:

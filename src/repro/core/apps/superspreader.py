@@ -163,8 +163,6 @@ class SuperspreaderDetectorApp:
         self._fanout: dict[float, set[float]] = {}
         #: dst tone -> set of src tones co-heard this interval.
         self._fanin: dict[float, set[float]] = {}
-        self._alerted_spreaders: set[tuple[float, float]] = set()
-        self._alerted_victims: set[tuple[float, float]] = set()
         controller.watch(mapper.all_frequencies(),
                          on_detection=lambda event: None)
         controller.on_window(self._on_window)
@@ -185,24 +183,20 @@ class SuperspreaderDetectorApp:
             self._fanin.setdefault(dst, set()).update(sources)
 
     def _close_interval(self) -> None:
+        # Runs exactly once per interval, and the fan maps reset below,
+        # so (start, tone) pairs can never repeat — no dedup set needed.
         assert self._interval_start is not None
         start = self._interval_start
         for src, destinations in sorted(self._fanout.items()):
             if len(destinations) > self.k:
-                key = (start, src)
-                if key not in self._alerted_spreaders:
-                    self._alerted_spreaders.add(key)
-                    self.spreader_alerts.append(
-                        SpreaderAlert(start, src, len(destinations))
-                    )
+                self.spreader_alerts.append(
+                    SpreaderAlert(start, src, len(destinations))
+                )
         for dst, sources in sorted(self._fanin.items()):
             if len(sources) > self.k:
-                key = (start, dst)
-                if key not in self._alerted_victims:
-                    self._alerted_victims.add(key)
-                    self.victim_alerts.append(
-                        VictimAlert(start, dst, len(sources))
-                    )
+                self.victim_alerts.append(
+                    VictimAlert(start, dst, len(sources))
+                )
         self._fanout = {}
         self._fanin = {}
         self._interval_start = start + self.interval

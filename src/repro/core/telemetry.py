@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..audio.detector import DetectionEvent
 from ..net.stats import TimeSeries
 
@@ -140,3 +142,130 @@ class ToneCounter:
         for interval in self.closed:
             series.record(interval.end, interval.counts.get(frequency, 0))
         return series
+
+
+class ToneEventBus:
+    """An audio-free stand-in for the controller's subscription surface.
+
+    Duck-types the slice of :class:`~repro.core.controller.MDNController`
+    the telemetry apps use — ``watch(frequencies, on_detection=...,
+    on_onset=...)`` and ``on_window(callback)`` — but is fed synthetic
+    tone presence (e.g. from a workload
+    :class:`~repro.net.workload.PresenceSink`) instead of microphone
+    capture.  The *real* detector-app logic runs unchanged against it,
+    which is how precision/recall is measured at populations far beyond
+    what the acoustic pipeline can render.
+
+    Events are buffered as they are pushed and delivered by
+    :meth:`dispatch`, grouped into capture windows of ``window``
+    seconds: per-event detection callbacks, onset callbacks with the
+    controller's suppression rule (a tone present in the immediately
+    preceding window is not a new onset), then whole-window callbacks
+    with the window's *end* time — matching ``MDNController``'s
+    dispatch order and timing.
+    """
+
+    def __init__(self, window: float = 0.1) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._detection_subscribers: dict[float, list] = {}
+        self._onset_subscribers: dict[float, list] = {}
+        self._window_subscribers: list = []
+        self._pending_frequencies: list[np.ndarray] = []
+        self._pending_times: list[np.ndarray] = []
+        self._prev_slot: int | None = None
+        self._prev_present: set[float] = set()
+        self.events_dispatched = 0
+        self.windows_dispatched = 0
+
+    # -- the MDNController surface the apps use ------------------------
+
+    def watch(self, frequencies, on_detection=None, on_onset=None) -> None:
+        if on_detection is None and on_onset is None:
+            raise ValueError("need at least one callback")
+        for frequency in frequencies:
+            key = float(frequency)
+            if on_detection is not None:
+                self._detection_subscribers.setdefault(key, []).append(
+                    on_detection
+                )
+            if on_onset is not None:
+                self._onset_subscribers.setdefault(key, []).append(on_onset)
+
+    def on_window(self, callback) -> None:
+        self._window_subscribers.append(callback)
+
+    def start(self) -> None:
+        """Parity no-op: there is no listen loop to arm."""
+
+    # -- feeding -------------------------------------------------------
+
+    def push(self, frequency: float, time: float) -> None:
+        """Buffer one tone presence."""
+        self._pending_frequencies.append(
+            np.asarray([frequency], dtype=np.float64)
+        )
+        self._pending_times.append(np.asarray([time], dtype=np.float64))
+
+    def push_batch(self, frequencies: np.ndarray, times: np.ndarray) -> None:
+        """Buffer a batch of tone presences (parallel arrays)."""
+        if len(frequencies) != len(times):
+            raise ValueError("frequencies and times must be parallel")
+        if len(frequencies):
+            self._pending_frequencies.append(
+                np.asarray(frequencies, dtype=np.float64)
+            )
+            self._pending_times.append(np.asarray(times, dtype=np.float64))
+
+    # -- delivery ------------------------------------------------------
+
+    def dispatch(self, level_db: float = 70.0) -> int:
+        """Deliver everything buffered, in capture-window order.
+
+        Call at quiescent points (typically once, after the run): all
+        pending events are grouped by window slot, each window's events
+        are dispatched oldest-window first, and onset suppression is
+        tracked across calls.  Returns the number of events delivered.
+        """
+        if not self._pending_times:
+            return 0
+        frequencies = np.concatenate(self._pending_frequencies)
+        times = np.concatenate(self._pending_times)
+        self._pending_frequencies = []
+        self._pending_times = []
+
+        slots = np.floor_divide(times, self.window).astype(np.int64)
+        order = np.lexsort((frequencies, slots))
+        frequencies, slots = frequencies[order], slots[order]
+        unique_slots, group_starts = np.unique(slots, return_index=True)
+        bounds = list(group_starts) + [len(slots)]
+
+        delivered = 0
+        for index, slot in enumerate(unique_slots.tolist()):
+            group = frequencies[bounds[index]:bounds[index + 1]]
+            window_start = slot * self.window
+            events = [
+                DetectionEvent(f, f, level_db, window_start)
+                for f in dict.fromkeys(group.tolist())
+            ]
+            prior = (self._prev_present
+                     if self._prev_slot is not None
+                     and slot == self._prev_slot + 1 else set())
+            for event in events:
+                for callback in self._detection_subscribers.get(
+                        event.frequency, ()):
+                    callback(event)
+                if event.frequency not in prior:
+                    for callback in self._onset_subscribers.get(
+                            event.frequency, ()):
+                        callback(event)
+            window_end = window_start + self.window
+            for callback in self._window_subscribers:
+                callback(events, window_end)
+            self._prev_slot = slot
+            self._prev_present = {event.frequency for event in events}
+            delivered += len(events)
+            self.windows_dispatched += 1
+        self.events_dispatched += delivered
+        return delivered

@@ -78,6 +78,14 @@ from .xext15 import (
     Xext15Result,
     fleet_experiment,
 )
+from .xext16 import (
+    WorkloadMixPoint,
+    WorkloadScalePoint,
+    WorkloadSpeedupPoint,
+    Xext16Result,
+    measure_speedup,
+    workload_experiment,
+)
 from .xcap import (
     BackendComparison,
     ConcurrencyPoint,
@@ -159,4 +167,10 @@ __all__ = [
     "FleetScalePoint",
     "Xext15Result",
     "fleet_experiment",
+    "WorkloadMixPoint",
+    "WorkloadScalePoint",
+    "WorkloadSpeedupPoint",
+    "Xext16Result",
+    "measure_speedup",
+    "workload_experiment",
 ]

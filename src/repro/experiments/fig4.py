@@ -23,7 +23,21 @@ from ..core.apps import (
     PortToneMapper,
     ScanAlert,
 )
-from ..net import FlowKey, FlowMixWorkload, PortScanSource, TimeSeries
+from ..net import (
+    FlowKey,
+    FlowMixWorkload,
+    HostSink,
+    PortScanSource,
+    TimeSeries,
+    VectorizedFlowDriver,
+    build_workload,
+)
+from ..net.flowpop import LABEL_ELEPHANT
+from ..core.apps.evaluation import (
+    heavy_hitter_truth_buckets,
+    score_heavy_hitter,
+    score_port_scan,
+)
 from .rigs import build_testbed
 
 #: Link rate used for telemetry runs: 2 Mb/s at 1000 B -> 250 pkt/s.
@@ -36,13 +50,19 @@ SCAN_PORTS = range(8000, 8020)
 class Fig4ABResult:
     """Heavy-hitter run outcome."""
 
-    heavy_flow: FlowKey
+    heavy_flow: FlowKey | None
     heavy_frequency: float
     alerts: list[HeavyHitterAlert]
     heavy_detected: bool
     false_positive_frequencies: set[float]
     per_interval_heavy_counts: TimeSeries
     with_song: bool
+    #: Named workload mix the run was driven by (None = the paper's
+    #: hand-tuned 12-flow mix).
+    workload: str | None = None
+    #: Ground-truth precision/recall — only when driven by a workload,
+    #: which is the only case where truth labels exist.
+    precision_recall: dict | None = None
 
 
 def heavy_hitter_experiment(
@@ -53,8 +73,16 @@ def heavy_hitter_experiment(
     heavy_fraction: float = 0.3,
     count_threshold: int = 5,
     seed: int = 3,
+    workload: str | None = None,
 ) -> Fig4ABResult:
-    """Run Figure 4a (``with_song=False``) or 4b (``True``)."""
+    """Run Figure 4a (``with_song=False``) or 4b (``True``).
+
+    ``workload`` swaps the paper's hand mix for a named seeded mix from
+    :data:`repro.net.workload.WORKLOAD_MIXES`, driven through the same
+    acoustic testbed by the vectorized driver, and adds ground-truth
+    precision/recall to the result.  Population size stays figure-scale
+    (``num_flows``) so the 250 pkt/s link is not the bottleneck.
+    """
     testbed = build_testbed("single")
     allocation = testbed.plan.allocate("s1", num_buckets)
     mapper = FlowToneMapper(allocation)
@@ -66,6 +94,43 @@ def heavy_hitter_experiment(
         song = SongNoise(seed=2018, level_db=55.0).render(duration)
         testbed.channel.add_noise(song, loop=True)
     testbed.controller.start()
+
+    if workload is not None:
+        spec = build_workload(workload, num_flows=num_flows, seed=seed,
+                              duration=duration)
+        population = spec.build().retarget(testbed.topo.hosts["h2"].ip)
+        sink = HostSink(testbed.topo.hosts["h1"], population)
+        driver = VectorizedFlowDriver(testbed.sim, population, sink,
+                                      stop=duration)
+        driver.launch()
+        testbed.sim.run(duration)
+        app.finalize(duration)
+
+        truth = heavy_hitter_truth_buckets(population, len(allocation))
+        truth_frequencies = {
+            allocation.frequency_for(bucket) for bucket in truth
+        }
+        elephants = population.indices_with_label(LABEL_ELEPHANT)
+        heavy_flow = (population.flow_key(int(elephants[0]))
+                      if len(elephants) else None)
+        heavy_frequency = (mapper.frequency_of(heavy_flow)
+                           if heavy_flow is not None else float("nan"))
+        flagged = app.heavy_frequencies()
+        return Fig4ABResult(
+            heavy_flow=heavy_flow,
+            heavy_frequency=heavy_frequency,
+            alerts=list(app.alerts),
+            heavy_detected=bool(truth_frequencies)
+            and truth_frequencies <= flagged,
+            false_positive_frequencies=flagged - truth_frequencies,
+            per_interval_heavy_counts=(
+                app.counter.count_history(heavy_frequency)
+                if heavy_flow is not None
+                else TimeSeries("fig4.heavy_counts")),
+            with_song=with_song,
+            workload=workload,
+            precision_recall=score_heavy_hitter(app, population).as_dict(),
+        )
 
     mix = FlowMixWorkload(
         testbed.topo.hosts["h1"], testbed.topo.hosts["h2"].ip,
@@ -105,14 +170,25 @@ class Fig4CDResult:
     #: Per-frame dominant frequency — the "clear logarithmic line".
     dominant_track_hz: np.ndarray
     with_song: bool
+    workload: str | None = None
+    #: Ground-truth precision/recall — workload-driven runs only.
+    precision_recall: dict | None = None
 
 
 def port_scan_experiment(
     with_song: bool = False,
     scan_interval: float = 0.11,
     distinct_threshold: int = 5,
+    workload: str | None = None,
+    workload_flows: int = 64,
 ) -> Fig4CDResult:
-    """Run Figure 4c (``with_song=False``) or 4d (``True``)."""
+    """Run Figure 4c (``with_song=False``) or 4d (``True``).
+
+    ``workload`` replaces the lone sweeping scanner with a named seeded
+    mix (use ``"scan-churn"`` for a campaign buried in benign churn,
+    including service traffic on in-band ports) and scores the detector
+    against campaign ground truth.
+    """
     testbed = build_testbed("single", plan_guard=40.0)
     allocation = testbed.plan.allocate("s1", len(SCAN_PORTS))
     mapper = PortToneMapper(allocation, SCAN_PORTS)
@@ -125,10 +201,21 @@ def port_scan_experiment(
         testbed.channel.add_noise(song, loop=True)
     testbed.controller.start()
 
-    scan = PortScanSource(testbed.topo.hosts["h1"],
-                          testbed.topo.hosts["h2"].ip, SCAN_PORTS,
-                          interval=scan_interval)
-    scan.launch()
+    population = None
+    if workload is not None:
+        spec = build_workload(workload, num_flows=workload_flows, seed=3,
+                              duration=duration)
+        population = spec.build().retarget(testbed.topo.hosts["h2"].ip)
+        driver = VectorizedFlowDriver(
+            testbed.sim, population,
+            HostSink(testbed.topo.hosts["h1"], population), stop=duration,
+        )
+        driver.launch()
+    else:
+        scan = PortScanSource(testbed.topo.hosts["h1"],
+                              testbed.topo.hosts["h2"].ip, SCAN_PORTS,
+                              interval=scan_interval)
+        scan.launch()
     testbed.sim.run(duration)
     app.finalize(duration)
 
@@ -144,4 +231,8 @@ def port_scan_experiment(
         spectrogram=spectrogram,
         dominant_track_hz=track,
         with_song=with_song,
+        workload=workload,
+        precision_recall=(
+            score_port_scan(app, population, SCAN_PORTS, duration).as_dict()
+            if population is not None else None),
     )

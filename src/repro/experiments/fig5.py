@@ -21,7 +21,15 @@ from ..core.apps import (
     QueueMonitorApp,
     SplitRule,
 )
-from ..net import Match, OnOffSource, RampSource, TimeSeries
+from ..net import (
+    HostSink,
+    Match,
+    OnOffSource,
+    RampSource,
+    TimeSeries,
+    VectorizedFlowDriver,
+    build_workload,
+)
 from .rigs import build_testbed
 
 
@@ -36,6 +44,9 @@ class Fig5ABResult:
     bottom_path_packets: float
     tone_log: list[tuple[float, str, str]]
     spectrogram: tuple[np.ndarray, np.ndarray, np.ndarray]
+    #: Named background workload mix, if any, and what it emitted.
+    workload: str | None = None
+    background_packets: int = 0
 
     @property
     def rebalanced(self) -> bool:
@@ -47,9 +58,16 @@ def load_balancing_experiment(
     initial_rate_pps: float = 50.0,
     slope_pps_per_s: float = 60.0,
     max_rate_pps: float = 350.0,
+    workload: str | None = None,
+    workload_flows: int = 200,
 ) -> Fig5ABResult:
     """Run Figure 5a–b: ramping source, chirping s_in, split on the
-    congestion tone."""
+    congestion tone.
+
+    ``workload`` layers a named seeded mix (e.g. ``"mice"``) under the
+    ramp as background churn sharing the congested path — the paper's
+    clean single-source ramp, made honest.
+    """
     testbed = build_testbed("rhombus")
     topo = testbed.topo
     p_top = topo.port_towards("s_in", "s_top")
@@ -66,6 +84,17 @@ def load_balancing_experiment(
                            [p_top, p_bottom])},
     )
     testbed.controller.start()
+
+    background = None
+    if workload is not None:
+        spec = build_workload(workload, num_flows=workload_flows,
+                              seed=16, duration=duration)
+        population = spec.build().retarget(topo.hosts["h2"].ip)
+        background = VectorizedFlowDriver(
+            testbed.sim, population,
+            HostSink(topo.hosts["h1"], population), stop=duration,
+        )
+        background.launch()
 
     ramp = RampSource(topo.hosts["h1"], topo.hosts["h2"].ip, 80,
                       initial_rate_pps=initial_rate_pps,
@@ -91,6 +120,9 @@ def load_balancing_experiment(
         bottom_path_packets=topo.switches["s_bottom"].packets_forwarded.total,
         tone_log=list(app.tone_log),
         spectrogram=spectrogram,
+        workload=workload,
+        background_packets=(background.packets_emitted
+                            if background is not None else 0),
     )
 
 

@@ -26,7 +26,16 @@ from ..core.apps import (
     QueueChirper,
     QueueMonitorApp,
 )
-from ..net import ConstantRateSource, FlowKey, FlowMixWorkload
+from ..net import (
+    ConstantRateSource,
+    FlowKey,
+    FlowMixWorkload,
+    HostSink,
+    VectorizedFlowDriver,
+    build_workload,
+)
+from ..net.flowpop import LABEL_ELEPHANT
+from ..core.apps.evaluation import score_heavy_hitter
 from .fig4 import LINK_CAPACITY_PPS
 from .rigs import build_testbed
 
@@ -35,11 +44,14 @@ from .rigs import build_testbed
 class SketchVsMdnResult:
     """XBASE1: do the sketch and the acoustic detector agree?"""
 
-    heavy_flow: FlowKey
+    heavy_flow: FlowKey | None
     mdn_detected: bool
     sketch_detected: bool
     mdn_false_positive_buckets: int
     sketch_false_positive_flows: int
+    workload: str | None = None
+    #: Ground-truth precision/recall for the MDN side — workload runs only.
+    mdn_precision_recall: dict | None = None
 
     @property
     def agree_on_heavy(self) -> bool:
@@ -50,8 +62,14 @@ def sketch_vs_mdn(
     duration: float = 8.0,
     num_flows: int = 10,
     seed: int = 3,
+    workload: str | None = None,
 ) -> SketchVsMdnResult:
-    """Run the same flow mix through both detectors simultaneously."""
+    """Run the same flow mix through both detectors simultaneously.
+
+    ``workload`` swaps the hand mix for a named seeded mix; both
+    detectors then compete on a population with ground-truth labels and
+    the MDN side is additionally scored as precision/recall.
+    """
     testbed = build_testbed("single")
     allocation = testbed.plan.allocate("s1", 16)
     mapper = FlowToneMapper(allocation)
@@ -66,6 +84,48 @@ def sketch_vs_mdn(
         lambda packet, _in, _out: sketch.observe(packet, testbed.sim.now)
     )
     testbed.controller.start()
+
+    if workload is not None:
+        spec = build_workload(workload, num_flows=num_flows, seed=seed,
+                              duration=duration)
+        population = spec.build().retarget(testbed.topo.hosts["h2"].ip)
+        driver = VectorizedFlowDriver(
+            testbed.sim, population,
+            HostSink(testbed.topo.hosts["h1"], population), stop=duration,
+        )
+        driver.launch()
+        testbed.sim.run(duration)
+        sketch.flush(duration)
+        mdn_app.finalize(duration)
+
+        elephant_rows = population.indices_with_label(LABEL_ELEPHANT)
+        elephant_keys = {
+            population.flow_key(int(row)) for row in elephant_rows
+        }
+        truth_frequencies = {
+            mapper.frequency_of(key) for key in elephant_keys
+        }
+        mouse_keys = {
+            population.flow_key(i) for i in range(len(population))
+            if population.static[i]
+        } - elephant_keys
+        heavy = (population.flow_key(int(elephant_rows[0]))
+                 if len(elephant_rows) else None)
+        flagged = mdn_app.heavy_frequencies()
+        return SketchVsMdnResult(
+            heavy_flow=heavy,
+            mdn_detected=bool(truth_frequencies)
+            and truth_frequencies <= flagged,
+            sketch_detected=bool(elephant_keys)
+            and elephant_keys <= sketch.heavy_flows(),
+            mdn_false_positive_buckets=len(flagged - truth_frequencies),
+            sketch_false_positive_flows=len(
+                sketch.heavy_flows() & mouse_keys
+            ),
+            workload=workload,
+            mdn_precision_recall=score_heavy_hitter(
+                mdn_app, population).as_dict(),
+        )
 
     mix = FlowMixWorkload(
         testbed.topo.hosts["h1"], testbed.topo.hosts["h2"].ip,

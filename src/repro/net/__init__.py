@@ -14,6 +14,15 @@ from .controlplane import (
     PacketIn,
     PortStats,
 )
+from .flowpop import (
+    LABEL_CHURN,
+    LABEL_ELEPHANT,
+    LABEL_FANIN,
+    LABEL_FANOUT,
+    LABEL_MOUSE,
+    LABEL_SCAN,
+    FlowPopulation,
+)
 from .flowtable import Action, ActionType, FlowEntry, FlowTable, Match
 from .host import ByteCounterSampler, Host
 from .link import Link, LinkDirection, Node
@@ -49,12 +58,59 @@ from .traffic import (
     RampSource,
     TrafficSource,
 )
+from .workload import (
+    WORKLOAD_MIXES,
+    BucketPresenceTap,
+    ChurnPattern,
+    CountingHost,
+    CountingSink,
+    ElephantMicePattern,
+    FanInPattern,
+    FanOutPattern,
+    HostSink,
+    OnOffPattern,
+    PerFlowWorkloadSource,
+    PortPresenceTap,
+    PortScanPattern,
+    PresenceSink,
+    TrafficPattern,
+    VectorizedFlowDriver,
+    WorkloadSpec,
+    build_workload,
+    launch_reference_sources,
+)
 
 __all__ = [
     "Action",
     "ActionType",
+    "BucketPresenceTap",
     "ByteCounterSampler",
+    "ChurnPattern",
     "ConstantRateSource",
+    "CountingHost",
+    "CountingSink",
+    "ElephantMicePattern",
+    "FanInPattern",
+    "FanOutPattern",
+    "FlowPopulation",
+    "HostSink",
+    "LABEL_CHURN",
+    "LABEL_ELEPHANT",
+    "LABEL_FANIN",
+    "LABEL_FANOUT",
+    "LABEL_MOUSE",
+    "LABEL_SCAN",
+    "OnOffPattern",
+    "PerFlowWorkloadSource",
+    "PortPresenceTap",
+    "PortScanPattern",
+    "PresenceSink",
+    "TrafficPattern",
+    "VectorizedFlowDriver",
+    "WORKLOAD_MIXES",
+    "WorkloadSpec",
+    "build_workload",
+    "launch_reference_sources",
     "ControlChannel",
     "ControllerBase",
     "Counter",

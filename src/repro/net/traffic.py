@@ -50,13 +50,22 @@ class TrafficSource:
         self.ecn_capable = ecn_capable
         self.packets_emitted = 0
         self._running = False
+        #: Launch-generation token: halt() leaves the scheduled _emit
+        #: callback in the heap (lazy cancellation), so a relaunch
+        #: before it fires must not let the stale callback resume its
+        #: chain alongside the new one — two chains emit at double
+        #: rate.  Each launch mints a new generation; a callback whose
+        #: generation is stale returns without rescheduling.
+        self._generation = 0
 
     def launch(self) -> None:
         """Arm the source; the first packet departs at ``start``."""
         if self._running:
             raise RuntimeError("source already launched")
         self._running = True
-        self.sim.schedule_at(max(self.start, self.sim.now), self._emit)
+        self._generation += 1
+        self.sim.schedule_at(max(self.start, self.sim.now), self._emit,
+                             self._generation)
 
     def halt(self) -> None:
         """Stop emitting after the current packet."""
@@ -64,8 +73,8 @@ class TrafficSource:
 
     # ------------------------------------------------------------------
 
-    def _emit(self) -> None:
-        if not self._running:
+    def _emit(self, generation: int) -> None:
+        if not self._running or generation != self._generation:
             return
         if self.stop is not None and self.sim.now >= self.stop:
             self._running = False
@@ -75,7 +84,7 @@ class TrafficSource:
         if gap is None:
             self._running = False
             return
-        self.sim.schedule(gap, self._emit)
+        self.sim.schedule(gap, self._emit, generation)
 
     def _send_one(self) -> None:
         packet = Packet(

@@ -96,3 +96,96 @@ class TestDetection:
         mix.launch()
         rig.sim.run(6.0)
         assert app.alerts[0].interval_start <= 2.0
+
+
+class TestScanCursor:
+    """Regression: _scan_closed used to rescan every closed interval on
+    every window (quadratic) and dedup alerts through an unbounded
+    ``_alerted`` set.  The cursor makes each interval scanned once."""
+
+    def _bus_app(self, count_threshold=5):
+        from repro.core.frequency_plan import Allocation
+        from repro.core.telemetry import ToneEventBus
+
+        bus = ToneEventBus(window=0.1)
+        alloc = Allocation("cursor-test", (1000.0, 1020.0, 1040.0))
+        app = HeavyHitterDetectorApp(bus, FlowToneMapper(alloc),
+                                     interval=1.0,
+                                     count_threshold=count_threshold)
+        return bus, app
+
+    def test_one_alert_per_hot_interval_no_duplicates(self):
+        bus, app = self._bus_app()
+        intervals = 25
+        for interval in range(intervals):
+            for window in range(10):  # 10 windows of presence > 5
+                bus.push(1000.0, interval + window * 0.1)
+            bus.dispatch()  # repeated dispatches rescan closed history
+        app.finalize(float(intervals))
+        starts = [alert.interval_start for alert in app.alerts]
+        assert starts == [float(i) for i in range(intervals)]
+
+    def test_cursor_tracks_closed_and_alerted_set_is_gone(self):
+        bus, app = self._bus_app()
+        for interval in range(5):
+            for window in range(10):
+                bus.push(1000.0, interval + window * 0.1)
+            bus.dispatch()
+        app.finalize(5.0)
+        assert app._scan_cursor == len(app.counter.closed)
+        assert not hasattr(app, "_alerted")
+
+    def test_quiet_buckets_never_alert(self):
+        bus, app = self._bus_app()
+        for interval in range(10):
+            for window in range(3):  # 3 <= threshold 5
+                bus.push(1020.0, interval + window * 0.1)
+            bus.dispatch()
+        app.finalize(10.0)
+        assert app.alerts == []
+
+
+class TestEmitterRebind:
+    """Regression: the emitter's rate-limit state was keyed by
+    frequency, so a spectrum-agility rebind orphaned every entry —
+    unbounded growth across migrations and a synchronized tone burst
+    into the new slots at commit."""
+
+    def _emitter(self):
+        from repro.core.frequency_plan import Allocation
+        from repro.net import Packet
+
+        rig = build_rig("single")
+        alloc = rig.plan.allocate("s1", 8)
+        mapper = FlowToneMapper(alloc)
+        emitter = HeavyHitterEmitter(rig.topo.switches["s1"],
+                                     rig.agents["s1"], mapper)
+        flow = FlowKey("10.0.0.1", "10.0.0.2", 1234, 80, Protocol.UDP)
+        packet = Packet(flow, 1000)
+        fresh = Allocation("s1", tuple(
+            3000.0 + 30.0 * i for i in range(8)))
+        return rig, mapper, emitter, packet, fresh
+
+    def test_no_burst_across_migration(self):
+        rig, mapper, emitter, packet, fresh = self._emitter()
+        emitter._on_forward(packet, 0, 1)
+        assert emitter.tones_requested == 1
+        mapper.rebind(fresh)
+        # Still inside the emission period: the bucket's limiter must
+        # survive the retune (no burst into the new slots).
+        emitter._on_forward(packet, 0, 1)
+        assert emitter.tones_requested == 1
+        # After the period elapses the bucket may sound again.
+        rig.sim.schedule_at(0.2, emitter._on_forward, packet, 0, 1)
+        rig.sim.run(0.3)
+        assert emitter.tones_requested == 2
+
+    def test_rate_limit_state_stays_bounded_across_rebinds(self):
+        from repro.core.frequency_plan import Allocation
+
+        rig, mapper, emitter, packet, fresh = self._emitter()
+        for migration in range(10):
+            emitter._on_forward(packet, 0, 1)
+            mapper.rebind(Allocation("s1", tuple(
+                5000.0 + 100.0 * migration + 10.0 * i for i in range(8))))
+        assert len(emitter._last_emission) <= len(mapper.allocation)

@@ -97,3 +97,42 @@ class TestScanDetection:
         scan.launch()
         rig.sim.run(6.0)
         assert not app.scan_detected
+
+
+class TestScanCursor:
+    """Regression: _scan_closed rescanned all closed intervals on every
+    window and deduped through an unbounded ``_alerted`` set."""
+
+    def _bus_app(self):
+        from repro.core.frequency_plan import Allocation
+        from repro.core.telemetry import ToneEventBus
+
+        bus = ToneEventBus(window=0.1)
+        ports = range(8000, 8020)
+        alloc = Allocation("cursor-test", tuple(
+            2000.0 + 20.0 * i for i in range(len(ports))))
+        app = PortScanDetectorApp(bus, PortToneMapper(alloc, ports),
+                                  interval=1.0, distinct_threshold=5)
+        return bus, alloc, app
+
+    def test_one_alert_per_hot_interval_no_duplicates(self):
+        bus, alloc, app = self._bus_app()
+        intervals = 20
+        for interval in range(intervals):
+            for index in range(10):  # 10 distinct tones > threshold 5
+                bus.push(alloc.frequency_for(index), interval + 0.01)
+            bus.dispatch()
+        app.finalize(float(intervals))
+        starts = [alert.interval_start for alert in app.alerts]
+        assert starts == [float(i) for i in range(intervals)]
+        assert all(alert.distinct_ports == 10 for alert in app.alerts)
+
+    def test_cursor_tracks_closed_and_alerted_set_is_gone(self):
+        bus, alloc, app = self._bus_app()
+        for interval in range(4):
+            for index in range(10):
+                bus.push(alloc.frequency_for(index), interval + 0.01)
+            bus.dispatch()
+        app.finalize(4.0)
+        assert app._scan_cursor == len(app.counter.closed)
+        assert not hasattr(app, "_alerted")

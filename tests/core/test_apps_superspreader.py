@@ -144,3 +144,43 @@ class TestTrafficGenerators:
             FanOutSource(host, [], interval=0.1)
         with pytest.raises(ValueError):
             FanInSource(host, ["10.0.0.9"], "10.0.0.2", interval=0)
+
+
+class TestNoDedupSets:
+    """Regression: spreader/victim alerts were deduped through
+    unbounded ``_alerted_*`` sets scanned per interval; the close-once
+    structure makes them impossible to duplicate without any set."""
+
+    def _bus_app(self):
+        from repro.core.apps import AddressToneMapper
+        from repro.core.frequency_plan import Allocation
+        from repro.core.telemetry import ToneEventBus
+
+        bus = ToneEventBus(window=0.1)
+        src_block = Allocation("src", tuple(
+            1000.0 + 20.0 * i for i in range(8)))
+        dst_block = Allocation("dst", tuple(
+            2000.0 + 20.0 * i for i in range(8)))
+        mapper = AddressToneMapper(src_block, dst_block)
+        app = SuperspreaderDetectorApp(bus, mapper, interval=1.0, k=5)
+        return bus, src_block, dst_block, app
+
+    def test_one_spreader_alert_per_hot_interval(self):
+        bus, src_block, dst_block, app = self._bus_app()
+        intervals = 15
+        for interval in range(intervals):
+            # One source tone co-heard with 7 distinct dst tones (> k=5).
+            bus.push(src_block.frequency_for(0), interval + 0.01)
+            for index in range(7):
+                bus.push(dst_block.frequency_for(index), interval + 0.01)
+            bus.dispatch()
+        # Push a quiet final window so the last hot interval closes.
+        bus.push(src_block.frequency_for(1), float(intervals) + 0.01)
+        bus.dispatch()
+        starts = [alert.interval_start for alert in app.spreader_alerts]
+        assert starts == [float(i) for i in range(intervals)]
+
+    def test_dedup_sets_are_gone(self):
+        _bus, _src, _dst, app = self._bus_app()
+        assert not hasattr(app, "_alerted_spreaders")
+        assert not hasattr(app, "_alerted_victims")

@@ -194,3 +194,50 @@ class TestFlowMix:
             FlowMixWorkload(h1, "10.0.0.2", 100, heavy_fraction=1.5)
         with pytest.raises(ValueError):
             FlowMixWorkload(h1, "10.0.0.2", 100, num_flows=2, num_heavy=3)
+
+
+class TestHaltRelaunch:
+    def test_relaunch_emits_at_exactly_configured_rate(self, net):
+        """Regression: the pre-halt emission chain used to survive a
+        halt() + launch() cycle — two chains then drove the source at
+        double its configured rate.  The generation token retires the
+        stale chain, so a relaunched source emits at exactly rate_pps."""
+        sim, h1, _h2 = net
+        src = ConstantRateSource(h1, "10.0.0.2", 80, rate_pps=100)
+        src.launch()
+        sim.run(0.5)
+        src.halt()
+        sim.run(1.0)
+        before = src.packets_emitted
+        src.launch()
+        sim.run(3.0)  # exactly 2.0 s of relaunched run
+        emitted = src.packets_emitted - before
+        assert emitted == pytest.approx(200, abs=3)
+
+    def test_repeated_cycles_do_not_accumulate_chains(self, net):
+        sim, h1, _h2 = net
+        src = ConstantRateSource(h1, "10.0.0.2", 80, rate_pps=50)
+        now = 0.0
+        for _cycle in range(4):
+            src.launch()
+            now += 0.25
+            sim.run(now)
+            src.halt()
+        before = src.packets_emitted
+        src.launch()
+        sim.run(now + 2.0)
+        # One live chain: 2 s at 50 pps, not 5 chains' worth.
+        assert src.packets_emitted - before == pytest.approx(100, abs=3)
+
+    def test_onoff_source_relaunch_keeps_duty_cycle(self, net):
+        sim, h1, _h2 = net
+        src = OnOffSource(h1, "10.0.0.2", 80, rate_pps=100,
+                          on_duration=0.5, off_duration=0.5)
+        src.launch()
+        sim.run(0.3)
+        src.halt()
+        before = src.packets_emitted
+        src.launch()
+        sim.run(4.3)  # 4 more seconds: ~2.0 s of ON time at 100 pps
+        emitted = src.packets_emitted - before
+        assert emitted <= 2.0 * 100 + 10

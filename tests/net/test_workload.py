@@ -1,0 +1,375 @@
+"""Workload layer tests: determinism, the scalar↔vector equivalence
+contract, pattern semantics, sinks and the audio-free event bus."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.apps import (
+    FlowToneMapper,
+    HeavyHitterDetectorApp,
+    PortScanDetectorApp,
+    PortToneMapper,
+    heavy_hitter_truth_buckets,
+    scan_truth_intervals,
+    score_heavy_hitter,
+    score_port_scan,
+)
+from repro.core.frequency_plan import Allocation
+from repro.core.telemetry import ToneEventBus
+from repro.net import (
+    BucketPresenceTap,
+    ChurnPattern,
+    CountingHost,
+    CountingSink,
+    ElephantMicePattern,
+    FlowPopulation,
+    HostSink,
+    OnOffPattern,
+    PortPresenceTap,
+    PortScanPattern,
+    PresenceSink,
+    Simulator,
+    VectorizedFlowDriver,
+    WorkloadSpec,
+    build_workload,
+    launch_reference_sources,
+    single_switch_topology,
+)
+from repro.net.flowpop import (
+    LABEL_ELEPHANT,
+    LABEL_MOUSE,
+    LABEL_SCAN,
+    VARY_DST_PORT,
+)
+from repro.net.workload import DEFAULT_SCAN_PORTS
+
+SEED = 16
+
+
+def _population(spec: WorkloadSpec) -> FlowPopulation:
+    population = spec.build()
+    assert len(population) > 0
+    return population
+
+
+def _drive(population, duration, batch_window=0.25):
+    sim = Simulator()
+    sink = CountingSink(population)
+    driver = VectorizedFlowDriver(sim, population, sink, stop=duration,
+                                  batch_window=batch_window)
+    driver.launch()
+    sim.run(duration)
+    return sink, driver
+
+
+class TestDeterminism:
+    def test_same_seed_same_population(self):
+        a = build_workload("elephants-mice", num_flows=300, seed=SEED).build()
+        b = build_workload("elephants-mice", num_flows=300, seed=SEED).build()
+        assert a.src_ips == b.src_ips
+        assert a.dst_ips == b.dst_ips
+        np.testing.assert_array_equal(a.src_ports, b.src_ports)
+        np.testing.assert_array_equal(a.rates, b.rates)
+        np.testing.assert_array_equal(a.phases, b.phases)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.stable_hashes, b.stable_hashes)
+
+    def test_same_seed_same_departure_schedule(self):
+        a = build_workload("scan-churn", num_flows=200, seed=SEED).build()
+        b = build_workload("scan-churn", num_flows=200, seed=SEED).build()
+        ta, fa, ka = a.departures_between(0.0, 8.0)
+        tb, fb, kb = b.departures_between(0.0, 8.0)
+        np.testing.assert_array_equal(ta, tb)
+        np.testing.assert_array_equal(fa, fb)
+        np.testing.assert_array_equal(ka, kb)
+
+    def test_different_seed_different_population(self):
+        a = build_workload("mice", num_flows=100, seed=1).build()
+        b = build_workload("mice", num_flows=100, seed=2).build()
+        assert not np.array_equal(a.rates, b.rates)
+
+    def test_batch_window_does_not_change_emissions(self):
+        population = build_workload("scan-churn", num_flows=150,
+                                    seed=SEED).build()
+        fine, _ = _drive(population, 4.0, batch_window=0.05)
+        coarse, _ = _drive(population, 4.0, batch_window=1.0)
+        assert fine.total == coarse.total
+        np.testing.assert_array_equal(fine.per_flow, coarse.per_flow)
+
+
+class TestDepartureModel:
+    def test_on_off_gates_departures(self):
+        spec = WorkloadSpec(seed=SEED, duration=4.0, patterns=(
+            OnOffPattern(num_flows=20, rate_range=(10.0, 10.0),
+                         on_range=(0.5, 0.5), off_range=(0.5, 0.5)),
+        ))
+        population = _population(spec)
+        times, flow_idx, _ks = population.departures_between(0.0, 4.0)
+        rel = times - population.starts[flow_idx]
+        assert np.all(rel % 1.0 < 0.5)
+        # Roughly half the always-on volume: 20 flows * 10 pps * 4 s / 2.
+        assert 300 < len(times) < 500
+
+    def test_diurnal_thins_toward_trough(self):
+        spec = WorkloadSpec(
+            seed=SEED, duration=8.0,
+            patterns=(ElephantMicePattern(num_mice=0, num_elephants=50),),
+            diurnal_amplitude=0.8, diurnal_period=8.0,
+        )
+        population = _population(spec)
+        times, _f, _k = population.departures_between(0.0, 8.0)
+        # Triangle wave: m(0) = 0.2 rising to m(period/2) = 1 — the
+        # window around the crest must carry clearly more traffic than
+        # the opening trough.
+        trough = np.count_nonzero(times < 2.0)
+        peak = np.count_nonzero((times >= 3.0) & (times < 5.0))
+        assert trough < peak * 0.6
+
+    def test_scan_covers_all_ports_in_order(self):
+        spec = WorkloadSpec(seed=SEED, duration=2.0, patterns=(
+            PortScanPattern(first_port=8000, num_ports=20,
+                            probe_rate=100.0),
+        ))
+        population = _population(spec)
+        assert population.variation[0] == VARY_DST_PORT
+        times, flow_idx, ks = population.departures_between(0.0, 1.0)
+        ports = population.dst_ports_for(flow_idx, ks)
+        assert set(ports.tolist()) == set(range(8000, 8020))
+        # Sequential sweep: the first 20 probes walk the ports in order.
+        np.testing.assert_array_equal(ports[:20],
+                                      np.arange(8000, 8020))
+
+    def test_churn_flows_live_and_die(self):
+        spec = WorkloadSpec(seed=SEED, duration=8.0, patterns=(
+            ChurnPattern(num_flows=100, lifetime_range=(0.3, 0.5)),
+        ))
+        population = _population(spec)
+        assert np.all(np.isfinite(population.stops))
+        assert np.all(population.stops - population.starts <= 0.5 + 1e-9)
+        times, flow_idx, _ks = population.departures_between(0.0, 8.0)
+        assert np.all(times >= population.starts[flow_idx])
+        assert np.all(times < population.stops[flow_idx])
+
+    def test_labels_and_counts(self):
+        population = build_workload("scan-churn", num_flows=500,
+                                    seed=SEED).build()
+        counts = population.label_counts()
+        assert counts["scan"] >= 1
+        assert counts["churn"] > 0
+        rows = population.indices_with_label(LABEL_SCAN)
+        assert np.all(population.labels[rows] == LABEL_SCAN)
+
+
+class TestScalarVectorEquivalence:
+    def test_reference_sources_match_driver_exactly(self):
+        population = build_workload("scan-churn", num_flows=120,
+                                    seed=SEED, duration=3.0).build()
+        sink, _ = _drive(population, 3.0)
+
+        sim = Simulator()
+        host = CountingHost(sim)
+        sources = launch_reference_sources(host, population, 3.0)
+        sim.run(3.0)
+        reference = [source.packets_emitted for source in sources]
+        assert reference == sink.per_flow.tolist()
+        assert host.packets_sent == sink.total
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1),
+           num_flows=st.integers(1, 40),
+           duration=st.floats(0.5, 4.0),
+           batch_window=st.sampled_from([0.1, 0.3, 0.7]))
+    def test_equivalence_property(self, seed, num_flows, duration,
+                                  batch_window):
+        """Any seeded mix: the vectorized driver and the per-flow
+        reference emit identical per-flow packet counts."""
+        spec = WorkloadSpec(
+            seed=seed, duration=duration,
+            patterns=(
+                ElephantMicePattern(
+                    num_mice=num_flows,
+                    num_elephants=num_flows // 8,
+                    mouse_rate_range=(0.5, 20.0),
+                ),
+                PortScanPattern(probe_rate=30.0,
+                                start=duration * 0.25),
+            ),
+            diurnal_amplitude=0.5, diurnal_period=duration,
+        )
+        population = spec.build()
+        sink, _ = _drive(population, duration, batch_window=batch_window)
+
+        sim = Simulator()
+        host = CountingHost(sim)
+        sources = launch_reference_sources(host, population, duration)
+        sim.run(duration)
+        reference = [source.packets_emitted for source in sources]
+        assert reference == sink.per_flow.tolist()
+
+    def test_scalar_accept_matches_vector_mask(self):
+        population = WorkloadSpec(
+            seed=SEED, duration=4.0,
+            patterns=(ElephantMicePattern(num_mice=30, num_elephants=2),),
+            diurnal_amplitude=0.7, diurnal_period=4.0,
+        ).build()
+        times, flow_idx, ks = population.departures_between(0.0, 4.0)
+        for t, i, k in zip(times[:200], flow_idx[:200], ks[:200]):
+            assert population.accept(int(i), int(k), float(t))
+
+
+class TestSinks:
+    def test_host_sink_sends_real_packets(self):
+        sim = Simulator()
+        topo = single_switch_topology(sim, 2, bandwidth_bps=50_000_000,
+                                      access_bandwidth_bps=50_000_000)
+        population = build_workload(
+            "elephants-mice", num_flows=20, seed=SEED, duration=2.0,
+        ).build().retarget(topo.hosts["h2"].ip)
+        sink = HostSink(topo.hosts["h1"], population)
+        driver = VectorizedFlowDriver(sim, population, sink, stop=2.0)
+        driver.launch()
+        sim.run(2.5)
+        assert driver.packets_emitted > 0
+        assert topo.hosts["h2"].packets_received.total == \
+            driver.packets_emitted
+
+    def test_retarget_recomputes_hashes(self):
+        population = build_workload("elephants-mice", num_flows=20,
+                                    seed=SEED).build()
+        retargeted = population.retarget("10.0.0.2")
+        assert set(retargeted.dst_ips) == {"10.0.0.2"}
+        assert retargeted.flow_key(0).dst_ip == "10.0.0.2"
+        assert retargeted.stable_hashes[0] == \
+            np.uint64(retargeted.flow_key(0).stable_hash())
+        # Same traffic model, different keys.
+        np.testing.assert_array_equal(population.rates, retargeted.rates)
+        assert not np.array_equal(population.stable_hashes,
+                                  retargeted.stable_hashes)
+
+    def test_presence_tap_dedupes_within_window(self):
+        frequencies = [1000.0 + 20 * i for i in range(8)]
+        tap = BucketPresenceTap(frequencies, period=0.1)
+        population = WorkloadSpec(seed=SEED, duration=1.0, patterns=(
+            ElephantMicePattern(num_mice=0, num_elephants=4,
+                                elephant_rate_range=(100.0, 100.0)),
+        )).build()
+        bus = ToneEventBus(window=0.1)
+        sim = Simulator()
+        sink = PresenceSink(bus, [tap])
+        driver = VectorizedFlowDriver(sim, population, sink, stop=1.0)
+        driver.launch()
+        sim.run(1.0)
+        # 4 elephants at 100 pps for 1 s = ~400 packets, but at most
+        # (distinct buckets) x (10 windows) presences.
+        buckets = len(set(
+            int(h % np.uint64(len(frequencies)))
+            for h in population.stable_hashes
+        ))
+        assert driver.packets_emitted > 300
+        assert tap.tones <= buckets * 11
+
+
+class TestToneEventBus:
+    def test_windows_and_onset_suppression(self):
+        bus = ToneEventBus(window=0.1)
+        onsets, detections, windows = [], [], []
+        bus.watch([700.0], on_detection=detections.append,
+                  on_onset=onsets.append)
+        bus.on_window(lambda events, end: windows.append(end))
+        # Present in three consecutive windows, then a gap, then again.
+        for slot in (0, 1, 2, 5):
+            bus.push(700.0, slot * 0.1 + 0.01)
+        delivered = bus.dispatch()
+        assert delivered == 4
+        assert len(detections) == 4
+        # Onsets: suppressed while contiguous, fresh after the gap.
+        assert [round(e.time, 1) for e in onsets] == [0.0, 0.5]
+        assert windows == pytest.approx([0.1, 0.2, 0.3, 0.6])
+
+    def test_suppression_tracked_across_dispatch_calls(self):
+        bus = ToneEventBus(window=0.1)
+        onsets = []
+        bus.watch([500.0], on_onset=onsets.append)
+        bus.push(500.0, 0.0)
+        bus.dispatch()
+        bus.push(500.0, 0.1)   # contiguous with the previous call
+        bus.dispatch()
+        bus.push(500.0, 0.4)   # gap -> new onset
+        bus.dispatch()
+        assert len(onsets) == 2
+
+    def test_duplicate_presences_collapse(self):
+        bus = ToneEventBus(window=0.1)
+        detections = []
+        bus.watch([600.0], on_detection=detections.append)
+        bus.push_batch(np.asarray([600.0, 600.0, 600.0]),
+                       np.asarray([0.01, 0.05, 0.09]))
+        assert bus.dispatch() == 1
+        assert len(detections) == 1
+
+
+class TestEvaluation:
+    def _detector_run(self, mix, num_flows=400, duration=4.0):
+        population = build_workload(mix, num_flows=num_flows, seed=SEED,
+                                    duration=duration).build()
+        buckets = Allocation("t-hh", tuple(
+            1000.0 + 20.0 * i for i in range(64)))
+        ports = Allocation("t-scan", tuple(
+            3000.0 + 20.0 * i for i in range(len(DEFAULT_SCAN_PORTS))))
+        bus = ToneEventBus(window=0.1)
+        hh = HeavyHitterDetectorApp(bus, FlowToneMapper(buckets))
+        scan = PortScanDetectorApp(
+            bus, PortToneMapper(ports, DEFAULT_SCAN_PORTS))
+        sim = Simulator()
+        sink = PresenceSink(bus, [
+            BucketPresenceTap(list(buckets.frequencies), 0.1),
+            PortPresenceTap(DEFAULT_SCAN_PORTS, list(ports.frequencies),
+                            0.1),
+        ])
+        VectorizedFlowDriver(sim, population, sink, stop=duration).launch()
+        sim.run(duration)
+        bus.dispatch()
+        hh.finalize(duration)
+        scan.finalize(duration)
+        return population, hh, scan, duration
+
+    def test_elephants_scored_against_truth(self):
+        population, hh, _scan, duration = self._detector_run(
+            "elephants-mice")
+        truth = heavy_hitter_truth_buckets(population, 64)
+        assert truth  # the mix plants at least one elephant
+        pr = score_heavy_hitter(hh, population)
+        assert pr.recall == 1.0
+        assert pr.true_positives == len(truth)
+
+    def test_scan_campaign_scored_against_truth(self):
+        population, _hh, scan, duration = self._detector_run("scan-churn")
+        truth = scan_truth_intervals(population, DEFAULT_SCAN_PORTS,
+                                     1.0, duration)
+        assert truth  # the campaign is hot in at least one interval
+        pr = score_port_scan(scan, population, DEFAULT_SCAN_PORTS,
+                             duration)
+        assert pr.recall == 1.0
+
+    def test_mice_only_has_no_truth(self):
+        population = build_workload("mice", num_flows=100,
+                                    seed=SEED).build()
+        assert heavy_hitter_truth_buckets(population, 64) == set()
+        assert np.count_nonzero(
+            population.labels == LABEL_ELEPHANT) == 0
+        assert np.all(population.labels == LABEL_MOUSE)
+
+
+class TestBuildWorkload:
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError, match="mice"):
+            build_workload("no-such-mix")
+
+    def test_all_named_mixes_build(self):
+        from repro.net import WORKLOAD_MIXES
+        for name in WORKLOAD_MIXES:
+            population = build_workload(name, num_flows=50, seed=SEED,
+                                        duration=2.0).build()
+            assert len(population) > 0
