@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-micro bench-fleet bench-workload obs examples figures render-all clean
+.PHONY: install test bench bench-micro bench-fleet bench-workload bench-chaos obs examples figures render-all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -40,6 +40,16 @@ bench-fleet:
 bench-workload:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro run \
 		xext16 $(if $(SMOKE),--smoke)
+
+# Chaos sweep (XEXT17): process-level faults (crashes, hard pool
+# breaks, stragglers, poison, duplicates) against the supervised
+# fleet; verifies exact recovery (bit-identical to the fault-free
+# serial reference) and reports recovery overhead per fault mix.
+# Writes .benchmarks/BENCH_chaos.json (override with
+# BENCH_CHAOS_JSON=path; SMOKE=1 shrinks the fleet and sleeps for CI).
+bench-chaos:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro run \
+		xext17 $(if $(SMOKE),--smoke)
 
 # Instrumented run of one experiment (default fig5ab) under repro.obs:
 # prints the metric/trace report and exports .benchmarks/OBS_<fig>.json.

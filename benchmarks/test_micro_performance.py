@@ -626,3 +626,46 @@ def test_perf_workload_driver_vs_perflow_sources():
           f"{point.reference_wall_s:.2f} s, vectorized "
           f"{point.vectorized_wall_s:.2f} s, speedup {point.speedup:.1f}x")
     assert point.speedup >= 10.0
+
+
+@pytest.mark.perf
+def test_perf_fleet_supervisor_disabled_overhead():
+    """Acceptance gate for the self-healing layer: a supervised run
+    with no fault plan, no hedging and no deadlines must produce the
+    bit-identical fleet report within 5% of the plain serial driver's
+    wall-clock (recovery machinery must be free when unused)."""
+    from repro.fleet import (
+        FleetSpec,
+        SupervisorPolicy,
+        run_fleet,
+        run_fleet_supervised,
+    )
+
+    spec = FleetSpec(num_rooms=6, switches_per_room=4,
+                     horizon=1.0, seed=17)
+    policy = SupervisorPolicy(checkpoint=False)
+
+    plain = run_fleet(spec, num_shards=2, backend="serial")
+    supervised = run_fleet_supervised(spec, num_shards=2,
+                                      backend="serial", policy=policy)
+    assert (supervised.identity_signature()
+            == plain.identity_signature()), \
+        "idle supervisor changed the result"
+
+    plain_s = _best_of(
+        lambda: run_fleet(spec, num_shards=2, backend="serial"),
+        repeats=3)
+    supervised_s = _best_of(
+        lambda: run_fleet_supervised(spec, num_shards=2,
+                                     backend="serial", policy=policy),
+        repeats=3)
+    overhead = supervised_s / plain_s - 1.0
+    _record_perf("fleet_supervisor_idle_overhead_6rooms_serial", {
+        "plain_ms": plain_s * 1e3,
+        "supervised_ms": supervised_s * 1e3,
+        "idle_overhead": overhead,
+    })
+    print(f"\nidle supervisor overhead 6 rooms serial: "
+          f"plain {plain_s*1e3:.1f} ms, "
+          f"supervised {supervised_s*1e3:.1f} ms ({overhead:+.1%})")
+    assert overhead < 0.05

@@ -402,6 +402,41 @@ def run_xext16(args: argparse.Namespace) -> None:
     print(f"\n   wrote {path}")
 
 
+def run_xext17(args: argparse.Namespace) -> None:
+    result = experiments.chaos_experiment(smoke=getattr(args, "smoke", False))
+    _print_table(
+        f"XEXT17: chaos sweep over {result.num_rooms} rooms x "
+        f"{result.switches_per_room} switches, {result.num_shards} "
+        f"shards / {result.workers} workers "
+        f"(host has {result.cpu_count} CPU core(s))", [
+            ("serial reference", f"{result.serial_wall_s:6.2f} s wall"),
+            ("supervised, no faults",
+             f"{result.baseline_wall_s:6.2f} s wall  "
+             f"identical {result.baseline_identical}"),
+        ])
+    _print_table("XEXT17: fault mix vs recovery", [
+        (point.name,
+         f"{point.wall_s:6.2f} s  overhead "
+         f"{point.recovery_overhead:4.2f}x  "
+         f"attempts {point.attempts_total:2d}  "
+         f"crashes {point.crashes_detected}  "
+         f"hedged {point.stragglers_hedged}  "
+         f"resumed {point.rooms_resumed}  "
+         f"rebuilds {point.pool_rebuilds}  "
+         f"exact {point.identical}"
+         + (f"  FAILURES {point.failures}" if point.failures else ""))
+        for point in result.points
+    ])
+    _print_table("XEXT17: verdict", [
+        ("exact recovery",
+         f"all points bit-identical to fault-free serial reference: "
+         f"{result.all_exact}"),
+        ("worst overhead", f"{result.worst_overhead:.2f}x baseline"),
+    ])
+    path = result.export()
+    print(f"\n   wrote {path}")
+
+
 def run_obs(args: argparse.Namespace) -> None:
     """Run one experiment under ``repro.obs`` and print/export metrics."""
     from pathlib import Path
@@ -457,6 +492,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], None]]] = {
                run_xext15),
     "xext16": ("workload generator (mixes -> precision/recall, scale)",
                run_xext16),
+    "xext17": ("chaos fleet (process faults, supervised exact recovery)",
+               run_xext17),
 }
 
 

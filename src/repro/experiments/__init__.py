@@ -86,6 +86,11 @@ from .xext16 import (
     measure_speedup,
     workload_experiment,
 )
+from .xext17 import (
+    ChaosPoint,
+    Xext17Result,
+    chaos_experiment,
+)
 from .xcap import (
     BackendComparison,
     ConcurrencyPoint,
@@ -173,4 +178,7 @@ __all__ = [
     "Xext16Result",
     "measure_speedup",
     "workload_experiment",
+    "ChaosPoint",
+    "Xext17Result",
+    "chaos_experiment",
 ]

@@ -34,7 +34,17 @@ mic clipping      :class:`MicrophoneFaults`       microphone capture
 MP frame loss     :class:`MpLinkFaults`           switch→Pi link delivery
 MP frame corrupt  :class:`MpLinkFaults`           switch→Pi link delivery
 Pi crash/restart  :class:`PiFaults`               RaspberryPi host
+worker crash      :class:`ProcessFaultPlan`       fleet worker processes
+worker straggler  :class:`ProcessFaultPlan`       fleet worker processes
+poisoned report   :class:`ProcessFaultPlan`       fleet result path
+duplicate result  :class:`ProcessFaultPlan`       fleet result path
 ================  ==============================  =======================
+
+The last four are *process-level* faults (see :mod:`repro.faults.
+process`): they attack the execution substrate the fleet runs on
+rather than the simulated acoustics, and the
+:class:`~repro.fleet.supervisor.FleetSupervisor` is the recovery
+layer built to absorb them.
 """
 
 from __future__ import annotations
@@ -42,6 +52,13 @@ from __future__ import annotations
 from .audio import AcousticFaults, MicrophoneFaults
 from .harness import FaultHarness, seeded_rng
 from .net import MpLinkFaults, PiFaults
+from .process import (
+    PoisonedShardReport,
+    ProcessFaultPlan,
+    ShardFaultDecision,
+    SimulatedWorkerCrash,
+    shard_fault_decision,
+)
 
 __all__ = [
     "AcousticFaults",
@@ -49,5 +66,10 @@ __all__ = [
     "MicrophoneFaults",
     "MpLinkFaults",
     "PiFaults",
+    "PoisonedShardReport",
+    "ProcessFaultPlan",
+    "ShardFaultDecision",
+    "SimulatedWorkerCrash",
     "seeded_rng",
+    "shard_fault_decision",
 ]

@@ -23,13 +23,40 @@ Entry points::
 
 The xext15 experiment (``python -m repro run xext15``) sweeps shard
 count against wall-clock over exactly this API.
+
+PR 10 adds the self-healing layer on top: a
+:class:`~repro.fleet.supervisor.FleetSupervisor` that survives
+crashing, hanging, poisoning and duplicating workers (see
+:mod:`repro.faults.process`) with hedged re-execution, room-granular
+checkpoint resume (:class:`~repro.fleet.checkpoint.CheckpointStore`),
+bounded retries and per-shard quarantine — while keeping
+``identity_signature()`` bit-identical to the fault-free serial
+reference.  The xext17 chaos sweep (``python -m repro run xext17``)
+measures exactly that contract.
 """
 
 from __future__ import annotations
 
+from .checkpoint import CheckpointError, CheckpointStore
 from .dispatch import FleetDispatcher, ShardFailure
 from .room import RoomReport, run_room
-from .runner import FLEET_GAUGE_POLICY, FleetReport, ShardReport, run_fleet, run_shard
+from .runner import (
+    FLEET_GAUGE_POLICY,
+    FleetReport,
+    ShardReport,
+    build_fleet_report,
+    merge_fleet_metrics,
+    run_fleet,
+    run_shard,
+)
+from .supervisor import (
+    FleetSupervisor,
+    SupervisorPolicy,
+    SupervisorStats,
+    run_fleet_supervised,
+    validate_shard_report,
+)
+from .worker import ShardJob, run_shard_job
 from .specs import (
     DEFAULT_FLEET_SEED,
     DEFAULT_LISTEN_INTERVAL,
@@ -45,18 +72,29 @@ __all__ = [
     "DEFAULT_FLEET_SEED",
     "DEFAULT_LISTEN_INTERVAL",
     "FLEET_GAUGE_POLICY",
+    "CheckpointError",
+    "CheckpointStore",
     "FaultPlan",
     "FleetConfigError",
     "FleetDispatcher",
     "FleetReport",
     "FleetSpec",
+    "FleetSupervisor",
     "RoomReport",
     "RoomSpec",
     "ShardFailure",
+    "ShardJob",
     "ShardReport",
     "ShardSpec",
+    "SupervisorPolicy",
+    "SupervisorStats",
+    "build_fleet_report",
     "ensure_picklable",
+    "merge_fleet_metrics",
     "run_fleet",
+    "run_fleet_supervised",
     "run_room",
     "run_shard",
+    "run_shard_job",
+    "validate_shard_report",
 ]

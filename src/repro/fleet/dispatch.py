@@ -25,7 +25,12 @@ without real waiting; results are unaffected either way — pacing moves
 from __future__ import annotations
 
 import time as _time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import Callable
 
@@ -43,6 +48,30 @@ class ShardFailure:
     attempts: int
     #: True when the breaker fast-failed the shard without running it.
     fast_failed: bool = False
+    #: True when the supervisor gave up on a repeat offender (its
+    #: per-shard breaker tripped) rather than exhausting attempts.
+    quarantined: bool = False
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a pool down even if its workers are wedged.
+
+    ``shutdown(wait=True)`` on a pool with a hung worker blocks
+    forever, so the workers are terminated first; joining the corpses
+    afterwards is prompt.  Reaches into ``_processes`` — a CPython
+    implementation detail, but the only eviction mechanism
+    ``ProcessPoolExecutor`` has, and guarded so a future stdlib rename
+    degrades to a plain (possibly blocking) shutdown rather than a
+    crash.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            if process.is_alive():
+                process.terminate()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+    pool.shutdown(wait=True, cancel_futures=True)
 
 
 class FleetDispatcher:
@@ -85,6 +114,9 @@ class FleetDispatcher:
         self._m_dispatched = obs.counter("fleet.shards_dispatched")
         self._m_retried = obs.counter("fleet.shards_retried")
         self._m_failed = obs.counter("fleet.shards_failed")
+        self._m_timed_out = obs.counter("dispatch.shard_timeouts")
+        self._m_rebuilds = obs.counter("dispatch.pool_rebuilds")
+        self._m_casualties = obs.counter("dispatch.broken_pool_casualties")
 
     # ------------------------------------------------------------------
 
@@ -101,63 +133,161 @@ class FleetDispatcher:
         shards: tuple[ShardSpec, ...],
         runner: Callable,
         workers: int,
+        shard_timeout: float | None = None,
     ) -> tuple[list, list[ShardFailure]]:
         """Execute ``runner(shard)`` for every shard on a process pool.
 
         Returns ``(reports, failures)`` with reports sorted by
         ``shard_id`` — completion order is scheduling noise and must
         never leak into merge order.
+
+        Two process-level failure shapes are survived, not propagated:
+
+        * **a killed worker** (``os._exit``, OOM-kill, segfault) breaks
+          the whole ``ProcessPoolExecutor``; the dispatcher converts
+          the break into per-shard failed *attempts* (retried under the
+          usual budget), records one breaker failure per break event —
+          not one per casualty, or a single break would trip a
+          3-threshold breaker on its own — and rebuilds the pool once
+          per break (``dispatch.pool_rebuilds``);
+        * **a hung worker** would otherwise block ``wait`` forever;
+          with ``shard_timeout`` set, a shard past its deadline is
+          counted (``dispatch.shard_timeouts``), its worker killed
+          (pool rebuild — a wedged process cannot be evicted any other
+          way) and the shard retried/failed.  Innocent shards in
+          flight during the kill are re-queued with their attempt
+          refunded: they were casualties, not offenders.
+
+        In-flight submissions are capped at ``workers`` so a break can
+        only ever take down work that was actually running.
         """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be positive, got {shard_timeout}"
+            )
         for shard in shards:
             ensure_picklable(shard, f"ShardSpec(shard_id={shard.shard_id})")
         reports: list = []
         failures: list[ShardFailure] = []
         attempts: dict[int, int] = {shard.shard_id: 0 for shard in shards}
         by_id = {shard.shard_id: shard for shard in shards}
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending: dict = {}
-            queue = list(shards)
+        queue = list(shards)
+        pending: dict = {}  # future -> (shard, deadline | None)
+
+        def _fail(shard: ShardSpec, error: str, fast: bool = False) -> None:
+            failures.append(ShardFailure(
+                shard_id=shard.shard_id, error=error,
+                attempts=attempts[shard.shard_id], fast_failed=fast,
+            ))
+            self._m_failed.inc()
+
+        def _retry_or_fail(shard: ShardSpec, error: str) -> None:
+            if attempts[shard.shard_id] < self.max_attempts:
+                self._m_retried.inc()
+                queue.append(by_id[shard.shard_id])
+            else:
+                _fail(shard, error)
+
+        def _drain_casualties_and_rebuild() -> None:
+            """Every still-pending future died with the pool; refund
+            the innocents' attempts and put them back in line, then
+            stand up a fresh pool."""
+            nonlocal pool
+            for future, (shard, _deadline) in list(pending.items()):
+                self._m_casualties.inc()
+                attempts[shard.shard_id] -= 1
+                queue.append(by_id[shard.shard_id])
+            pending.clear()
+            _terminate_pool(pool)
+            pool = ProcessPoolExecutor(max_workers=workers)
+            self._m_rebuilds.inc()
+
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
             while queue or pending:
-                while queue:
+                # Keep at most `workers` in flight: pool breaks can
+                # then only hit work that was actually running.
+                while queue and len(pending) < workers:
                     shard = queue.pop(0)
                     if not self.breaker.allow(self._clock()):
-                        failures.append(ShardFailure(
-                            shard_id=shard.shard_id,
-                            error=f"breaker {self.breaker.state} "
-                                  f"(pool judged unhealthy)",
-                            attempts=attempts[shard.shard_id],
-                            fast_failed=True,
-                        ))
-                        self._m_failed.inc()
+                        _fail(shard,
+                              f"breaker {self.breaker.state} "
+                              f"(pool judged unhealthy)", fast=True)
                         continue
                     self._admit()
                     attempts[shard.shard_id] += 1
                     self._m_dispatched.inc()
-                    pending[pool.submit(runner, shard)] = shard
+                    deadline = (self._clock() + shard_timeout
+                                if shard_timeout is not None else None)
+                    try:
+                        pending[pool.submit(runner, shard)] = (shard,
+                                                               deadline)
+                    except BrokenExecutor:
+                        # The pool died before this submit; refund and
+                        # recover like any other break.
+                        attempts[shard.shard_id] -= 1
+                        queue.append(by_id[shard.shard_id])
+                        self.breaker.record_failure(self._clock())
+                        _drain_casualties_and_rebuild()
+                        break
                 if not pending:
+                    if queue:
+                        continue
                     break
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                wait_timeout = None
+                if shard_timeout is not None:
+                    soonest = min(deadline
+                                  for (_s, deadline) in pending.values())
+                    wait_timeout = max(soonest - self._clock(), 0.0)
+                done, _ = wait(pending, timeout=wait_timeout,
+                               return_when=FIRST_COMPLETED)
+                broken = False
                 for future in done:
-                    shard = pending.pop(future)
+                    shard, _deadline = pending.pop(future)
                     error = future.exception()
                     if error is None:
                         self.breaker.record_success(self._clock())
                         reports.append(future.result())
-                        continue
-                    self.breaker.record_failure(self._clock())
-                    if attempts[shard.shard_id] < self.max_attempts:
-                        self._m_retried.inc()
-                        queue.append(by_id[shard.shard_id])
+                    elif isinstance(error, BrokenExecutor):
+                        broken = True
+                        _retry_or_fail(shard, repr(error))
                     else:
-                        failures.append(ShardFailure(
-                            shard_id=shard.shard_id,
-                            error=repr(error),
-                            attempts=attempts[shard.shard_id],
-                        ))
-                        self._m_failed.inc()
-        reports.sort(key=lambda report: report.shard_id)
+                        self.breaker.record_failure(self._clock())
+                        _retry_or_fail(shard, repr(error))
+                if broken:
+                    # One breaker failure per break *event*: the break
+                    # is one fault, however many futures it doomed.
+                    self.breaker.record_failure(self._clock())
+                    _drain_casualties_and_rebuild()
+                    continue
+                if shard_timeout is not None and pending:
+                    now = self._clock()
+                    expired = [
+                        (future, shard)
+                        for future, (shard, deadline) in pending.items()
+                        if deadline is not None and now >= deadline
+                        and not future.done()
+                    ]
+                    if expired:
+                        for future, shard in expired:
+                            pending.pop(future)
+                            self._m_timed_out.inc()
+                            self.breaker.record_failure(now)
+                            _retry_or_fail(
+                                shard,
+                                f"shard exceeded {shard_timeout:.3f} s "
+                                f"timeout (worker killed)",
+                            )
+                        _drain_casualties_and_rebuild()
+        finally:
+            _terminate_pool(pool)
+        # Retries and rebuilds scramble completion order worse than the
+        # plain pool does; re-sort so scheduling noise never leaks out.
+        # (Stub runners in tests may return bare values without a
+        # shard_id — leave those in completion order.)
+        reports.sort(key=lambda report: getattr(report, "shard_id", 0))
         failures.sort(key=lambda failure: failure.shard_id)
         return reports, failures
 

@@ -48,6 +48,12 @@ class ShardReport:
     rooms: list[RoomReport]
     metrics: MetricsRegistry
     wall_s: float = 0.0
+    #: Rooms loaded from checkpoint spill instead of simulated (only
+    #: ever non-zero under the supervisor; execution detail, excluded
+    #: from identity).
+    rooms_resumed: int = 0
+    #: Which execution attempt produced this report (0 = first try).
+    attempt: int = 0
 
     @property
     def emissions(self) -> int:
@@ -100,6 +106,11 @@ class FleetReport:
     metrics: MetricsRegistry
     wall_s: float = 0.0
     cpu_count: int = field(default_factory=lambda: os.cpu_count() or 1)
+    #: Recovery accounting when the run was supervised (see
+    #: :class:`repro.fleet.supervisor.SupervisorStats`); ``None`` for
+    #: plain ``run_fleet`` executions.  Execution detail — excluded
+    #: from the identity signature like every wall-clock field.
+    supervisor: object | None = None
 
     @property
     def rooms(self) -> list[RoomReport]:
@@ -149,12 +160,61 @@ class FleetReport:
         }
 
 
+def merge_fleet_metrics(reports: list[ShardReport]) -> MetricsRegistry:
+    """Roll shard results up into one fleet-wide registry.
+
+    Merges from the room *leaves* in global room order, not from the
+    per-shard rollups: float summation is non-associative, so a
+    hierarchical rollup would make the merged histogram mean depend
+    on the shard count in the last ulp — breaking the bit-identity
+    contract between shard counts (and between the plain and
+    supervised drivers, which share this helper for the same reason).
+    """
+    metrics = MetricsRegistry()
+    ordered = sorted(
+        (room for shard in reports for room in shard.rooms),
+        key=lambda room: room.room_id,
+    )
+    for room in ordered:
+        metrics.merge(room.metrics, gauge_policy=FLEET_GAUGE_POLICY)
+    return metrics
+
+
+def build_fleet_report(
+    spec: FleetSpec,
+    backend: str,
+    num_shards: int,
+    workers: int,
+    shards: list[ShardReport],
+    failures: list[ShardFailure],
+    wall_s: float,
+    supervisor: object | None = None,
+) -> FleetReport:
+    """Assemble the merged report both drivers return (shards and
+    failures are re-sorted by shard id so caller completion order can
+    never leak into the result)."""
+    shards = sorted(shards, key=lambda report: report.shard_id)
+    failures = sorted(failures, key=lambda failure: failure.shard_id)
+    return FleetReport(
+        spec=spec,
+        backend=backend,
+        num_shards=num_shards,
+        workers=workers,
+        shards=shards,
+        failures=failures,
+        metrics=merge_fleet_metrics(shards),
+        wall_s=wall_s,
+        supervisor=supervisor,
+    )
+
+
 def run_fleet(
     spec: FleetSpec,
     num_shards: int = 1,
     backend: str = "serial",
     workers: int | None = None,
     dispatcher: FleetDispatcher | None = None,
+    shard_timeout: float | None = None,
 ) -> FleetReport:
     """Partition the fleet into shards and execute them.
 
@@ -171,6 +231,12 @@ def run_fleet(
     dispatcher:
         Guardrail configuration; a default (no admission pacing,
         3-failure breaker, one retry) is built when omitted.
+    shard_timeout:
+        Optional per-shard wall-clock deadline for the process
+        backend: a worker hung past it is killed (pool rebuild) and
+        the shard retried/failed under the usual attempt accounting,
+        so one wedged worker can never block the run forever.  Default
+        ``None`` keeps the historical wait-forever behavior.
     """
     if backend not in ("serial", "process"):
         raise ValueError(f"unknown fleet backend {backend!r}")
@@ -181,27 +247,15 @@ def run_fleet(
         reports, failures = dispatcher.run_serial(shard_specs, run_shard)
     else:
         reports, failures = dispatcher.run(
-            shard_specs, run_shard, workers=workers or num_shards
+            shard_specs, run_shard, workers=workers or num_shards,
+            shard_timeout=shard_timeout,
         )
-    # Merge from the room *leaves* in global room order, not from the
-    # per-shard rollups: float summation is non-associative, so a
-    # hierarchical rollup would make the merged histogram mean depend
-    # on the shard count in the last ulp — breaking the bit-identity
-    # contract between shard counts.
-    metrics = MetricsRegistry()
-    ordered = sorted(
-        (room for shard in reports for room in shard.rooms),
-        key=lambda room: room.room_id,
-    )
-    for room in ordered:
-        metrics.merge(room.metrics, gauge_policy=FLEET_GAUGE_POLICY)
-    return FleetReport(
+    return build_fleet_report(
         spec=spec,
         backend=backend,
         num_shards=num_shards,
         workers=(workers or num_shards) if backend == "process" else 1,
         shards=reports,
         failures=failures,
-        metrics=metrics,
         wall_s=_time.perf_counter() - wall_start,
     )

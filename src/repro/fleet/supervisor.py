@@ -1,0 +1,717 @@
+"""``FleetSupervisor`` — self-healing shard execution with exact recovery.
+
+The plain :class:`~repro.fleet.dispatch.FleetDispatcher` assumes a
+mostly well-behaved pool: it retries dead workers and fast-fails
+poisoned shards, but a *hung* worker stalls the run and every failure
+costs a full shard recompute.  The supervisor is the production
+answer, built from the same PR 6 primitives the acoustic links already
+ride:
+
+* **heartbeat/deadline straggler detection** — every in-flight attempt
+  carries its submission time; one past ``hedge_after_s`` gets a
+  **hedged re-execution** (a second attempt racing the slow one,
+  first-result-wins, deduped by shard id — the loser is counted
+  ``hedges_wasted``, never merged), and one past ``shard_deadline_s``
+  is abandoned: the pool is killed and rebuilt (checkpoints make the
+  collateral cheap) and the shard retried;
+* **room-granular checkpointing** — workers spill every finished
+  :class:`~repro.fleet.room.RoomReport` through the
+  :class:`~repro.fleet.checkpoint.CheckpointStore`, so a retry of a
+  shard that died 9 rooms into 10 simulates one room, not ten
+  (``rooms_resumed`` counts the savings);
+* **bounded retries** — failed attempts re-enter the queue along a
+  :class:`~repro.infra.RetryPolicy` schedule (the same unified policy
+  ARQ retransmits under), capped by ``max_attempts``;
+* **quarantine** — each shard owns a :class:`~repro.infra.
+  CircuitBreaker`; a repeat offender whose breaker trips is recorded
+  as a quarantined :class:`~repro.fleet.dispatch.ShardFailure` instead
+  of burning the remaining attempt budget;
+* **integrity validation** — a result is merged only if it is a
+  well-formed :class:`ShardReport` for the right shard with exactly
+  the right rooms; a poisoned result is a counted failure, never a
+  corrupted fleet report.
+
+The headline guarantee is **exact recovery**: rooms are deterministic
+and the supervisor only ever re-executes, resumes, or discards them —
+so under *any* injected schedule of crashes, hangs, poisons and
+duplicates it recovers from, ``FleetReport.identity_signature()``
+equals the fault-free serial reference bit-for-bit.  Recovery changes
+wall-clock, never results.  XEXT17 sweeps exactly this contract.
+
+All recovery accounting is wired through ``fleet.supervisor.*`` obs
+instruments (zero-overhead-when-disabled as usual) and returned on
+``FleetReport.supervisor`` as a :class:`SupervisorStats`.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time as _time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+
+from .. import obs
+from ..faults.process import (
+    ProcessFaultPlan,
+    SimulatedWorkerCrash,
+    shard_fault_decision,
+)
+from ..infra import CircuitBreaker, RetryPolicy
+from .dispatch import ShardFailure, _terminate_pool
+from .room import RoomReport
+from .runner import FleetReport, ShardReport, build_fleet_report
+from .specs import FleetSpec, ShardSpec, ensure_picklable
+from .worker import ShardJob, run_shard_job
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """The recovery knobs, all bounded, all explicit."""
+
+    #: Total executions allowed per shard, hedges included.  Must
+    #: exceed the fault plan's ``max_faulty_attempts`` for the
+    #: guaranteed-progress bound to hold.
+    max_attempts: int = 5
+    #: Age (seconds) past which a sole in-flight attempt gets a hedged
+    #: re-execution.  ``None`` disables hedging.
+    hedge_after_s: float | None = None
+    #: Hedges allowed per shard (each consumes an attempt).
+    max_hedges_per_shard: int = 1
+    #: Hard per-attempt deadline: an attempt older than this is
+    #: abandoned and its worker killed.  ``None`` disables.
+    shard_deadline_s: float | None = None
+    #: Backoff schedule for retry *delays* (not counts — counts are
+    #: ``max_attempts``).  Deadline generous by default: giving up is
+    #: the attempt budget's job.
+    retry_policy: RetryPolicy = field(default_factory=lambda: RetryPolicy(
+        initial_timeout=0.02, backoff=2.0, max_timeout=0.25, deadline=600.0,
+    ))
+    #: Consecutive failures that quarantine a shard (its breaker's
+    #: failure threshold).
+    quarantine_threshold: int = 4
+    #: Spill finished rooms so retries resume instead of recomputing.
+    checkpoint: bool = True
+    #: Event-loop wake interval when nothing sooner is scheduled.
+    poll_interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.hedge_after_s is not None and self.hedge_after_s <= 0:
+            raise ValueError(
+                f"hedge_after_s must be positive, got {self.hedge_after_s}"
+            )
+        if self.max_hedges_per_shard < 0:
+            raise ValueError(
+                f"max_hedges_per_shard must be >= 0, "
+                f"got {self.max_hedges_per_shard}"
+            )
+        if self.shard_deadline_s is not None and self.shard_deadline_s <= 0:
+            raise ValueError(
+                f"shard_deadline_s must be positive, "
+                f"got {self.shard_deadline_s}"
+            )
+        if self.quarantine_threshold < 1:
+            raise ValueError(
+                f"quarantine_threshold must be >= 1, "
+                f"got {self.quarantine_threshold}"
+            )
+        if self.poll_interval_s <= 0:
+            raise ValueError(
+                f"poll_interval_s must be positive, "
+                f"got {self.poll_interval_s}"
+            )
+
+
+@dataclass
+class SupervisorStats:
+    """Recovery accounting for one supervised run (execution detail —
+    never part of the identity signature)."""
+
+    backend: str = "process"
+    workers: int = 1
+    attempts_total: int = 0
+    crashes_detected: int = 0
+    stragglers_hedged: int = 0
+    hedges_wasted: int = 0
+    rooms_resumed: int = 0
+    poisoned_reports: int = 0
+    duplicates_injected: int = 0
+    duplicates_dropped: int = 0
+    late_results_dropped: int = 0
+    retries_scheduled: int = 0
+    deadline_kills: int = 0
+    pool_rebuilds: int = 0
+    shards_quarantined: int = 0
+    shards_failed: int = 0
+
+
+def validate_shard_report(report: object, shard: ShardSpec) -> str | None:
+    """Why ``report`` must not be merged for ``shard`` — or ``None``
+    if it is sound.  This is the poison gate: everything the driver
+    is about to trust is checked against the spec it dispatched."""
+    if not isinstance(report, ShardReport):
+        return (f"expected ShardReport, got "
+                f"{type(report).__name__} (poisoned result)")
+    if report.shard_id != shard.shard_id:
+        return (f"shard id mismatch: report says {report.shard_id}, "
+                f"spec says {shard.shard_id}")
+    want = [room.room_id for room in shard.rooms]
+    got = [getattr(room, "room_id", None) for room in report.rooms]
+    if got != want:
+        return f"room set mismatch: report has {got}, spec wants {want}"
+    if any(not isinstance(room, RoomReport) for room in report.rooms):
+        return "report contains non-RoomReport rooms (poisoned result)"
+    return None
+
+
+class _Flight:
+    """One in-flight execution attempt."""
+
+    __slots__ = ("shard_id", "attempt", "hedge", "duplicate",
+                 "submitted_at", "hedged")
+
+    def __init__(self, shard_id: int, attempt: int, submitted_at: float,
+                 hedge: bool = False, duplicate: bool = False) -> None:
+        self.shard_id = shard_id
+        self.attempt = attempt
+        self.hedge = hedge
+        self.duplicate = duplicate
+        self.submitted_at = submitted_at
+        #: This flight already triggered a hedge (never hedge twice).
+        self.hedged = False
+
+
+class _ShardState:
+    """Supervisor-side bookkeeping for one shard."""
+
+    __slots__ = ("spec", "attempts", "hedges", "report", "failure",
+                 "schedule", "breaker", "inflight", "ready_at",
+                 "exhausted_error")
+
+    def __init__(self, spec: ShardSpec, breaker: CircuitBreaker) -> None:
+        self.spec = spec
+        self.attempts = 0          # executions started (hedges included)
+        self.hedges = 0
+        self.report: ShardReport | None = None
+        self.failure: ShardFailure | None = None
+        self.schedule = None       # RetrySchedule, lazily created
+        self.breaker = breaker
+        self.inflight = 0
+        self.ready_at: float | None = 0.0   # next submission time
+        self.exhausted_error: str | None = None
+
+    @property
+    def resolved(self) -> bool:
+        return self.report is not None or self.failure is not None
+
+
+class FleetSupervisor:
+    """Self-healing driver over both fleet backends.
+
+    ``backend="process"`` is the real thing: a worker pool with
+    hedging, deadlines, pool rebuilds and checkpoint resume.
+    ``backend="serial"`` runs the same fault model, validation,
+    retry/quarantine and checkpoint machinery in-process — no hedging
+    or deadlines (there is nobody to race), hard crashes downgraded to
+    soft (the driver's interpreter is not disposable) — which is what
+    makes property tests over fault schedules cheap.
+    """
+
+    def __init__(self, policy: SupervisorPolicy | None = None,
+                 checkpoint_dir: str | None = None) -> None:
+        self.policy = policy or SupervisorPolicy()
+        self.checkpoint_dir = checkpoint_dir
+        self._m_crashes = obs.counter("fleet.supervisor.crashes_detected")
+        self._m_hedged = obs.counter("fleet.supervisor.stragglers_hedged")
+        self._m_hedges_wasted = obs.counter("fleet.supervisor.hedges_wasted")
+        self._m_resumed = obs.counter("fleet.supervisor.rooms_resumed")
+        self._m_poisoned = obs.counter("fleet.supervisor.poisoned_reports")
+        self._m_dup_dropped = obs.counter(
+            "fleet.supervisor.duplicates_dropped")
+        self._m_retries = obs.counter("fleet.supervisor.retries")
+        self._m_deadline_kills = obs.counter(
+            "fleet.supervisor.deadline_kills")
+        self._m_rebuilds = obs.counter("fleet.supervisor.pool_rebuilds")
+        self._m_quarantined = obs.counter(
+            "fleet.supervisor.shards_quarantined")
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        spec: FleetSpec,
+        num_shards: int = 1,
+        backend: str = "process",
+        workers: int | None = None,
+        faults: ProcessFaultPlan | None = None,
+        seed: int | None = None,
+    ) -> FleetReport:
+        """Execute the fleet under supervision and return the merged
+        report (``report.supervisor`` carries the recovery stats)."""
+        if backend not in ("serial", "process"):
+            raise ValueError(f"unknown fleet backend {backend!r}")
+        wall_start = _time.perf_counter()
+        seed = spec.seed if seed is None else seed
+        shard_specs = spec.shard_specs(num_shards)
+        workers = workers or num_shards
+        stats = SupervisorStats(backend=backend, workers=workers)
+        ckpt_dir, ckpt_is_temp = self._checkpoint_dir()
+        try:
+            if backend == "serial":
+                reports, failures = self._run_serial(
+                    shard_specs, faults, seed, ckpt_dir, stats)
+            else:
+                reports, failures = self._run_process(
+                    shard_specs, workers, faults, seed, ckpt_dir, stats)
+        finally:
+            if ckpt_is_temp and ckpt_dir is not None:
+                shutil.rmtree(ckpt_dir, ignore_errors=True)
+        stats.shards_failed = len(failures)
+        return build_fleet_report(
+            spec=spec,
+            backend=backend,
+            num_shards=num_shards,
+            workers=workers if backend == "process" else 1,
+            shards=reports,
+            failures=failures,
+            wall_s=_time.perf_counter() - wall_start,
+            supervisor=stats,
+        )
+
+    def _checkpoint_dir(self) -> tuple[str | None, bool]:
+        if not self.policy.checkpoint:
+            return None, False
+        if self.checkpoint_dir is not None:
+            return str(self.checkpoint_dir), False
+        return tempfile.mkdtemp(prefix="repro-fleet-ckpt-"), True
+
+    def _breaker(self, shard_id: int) -> CircuitBreaker:
+        # Recovery timeout far beyond any run length: quarantine is
+        # final for the run, there is no half-open re-probe of a shard.
+        return CircuitBreaker(
+            f"fleet.shard{shard_id}",
+            failure_threshold=self.policy.quarantine_threshold,
+            recovery_timeout=86_400.0,
+        )
+
+    # ------------------------------------------------------------------
+    # serial backend
+    # ------------------------------------------------------------------
+
+    def _run_serial(self, shard_specs, faults, seed, ckpt_dir, stats):
+        policy = self.policy
+        reports: list[ShardReport] = []
+        failures: list[ShardFailure] = []
+        for shard in shard_specs:
+            state = _ShardState(shard, self._breaker(shard.shard_id))
+            while not state.resolved:
+                now = _time.monotonic()
+                if not state.breaker.allow(now):
+                    stats.shards_quarantined += 1
+                    self._m_quarantined.inc()
+                    state.failure = ShardFailure(
+                        shard_id=shard.shard_id,
+                        error=f"quarantined after "
+                              f"{state.breaker.consecutive_failures} "
+                              f"consecutive failures",
+                        attempts=state.attempts,
+                        quarantined=True,
+                    )
+                    break
+                if state.attempts >= policy.max_attempts:
+                    state.failure = ShardFailure(
+                        shard_id=shard.shard_id,
+                        error=state.exhausted_error
+                              or "attempt budget exhausted",
+                        attempts=state.attempts,
+                    )
+                    break
+                job = ShardJob(
+                    shard=shard, attempt=state.attempts, seed=seed,
+                    faults=faults, checkpoint_dir=ckpt_dir,
+                    hard_crash_ok=False,
+                )
+                attempt = state.attempts
+                state.attempts += 1
+                stats.attempts_total += 1
+                try:
+                    result = run_shard_job(job)
+                except SimulatedWorkerCrash as exc:
+                    stats.crashes_detected += 1
+                    self._m_crashes.inc()
+                    self._note_retry(state, repr(exc), stats)
+                    continue
+                error = validate_shard_report(result, shard)
+                if error is not None:
+                    stats.poisoned_reports += 1
+                    self._m_poisoned.inc()
+                    self._note_retry(state, error, stats)
+                    continue
+                state.breaker.record_success(_time.monotonic())
+                state.report = result
+                stats.rooms_resumed += result.rooms_resumed
+                self._m_resumed.inc(result.rooms_resumed)
+                decision = shard_fault_decision(
+                    faults, seed, shard.shard_id, attempt)
+                if decision.duplicate:
+                    # An at-least-once queue redelivers: run the very
+                    # same attempt again (cheap — it resumes every
+                    # room from checkpoint) and let dedup drop it.
+                    stats.duplicates_injected += 1
+                    stats.attempts_total += 1
+                    try:
+                        echo = run_shard_job(job)
+                    except SimulatedWorkerCrash:
+                        echo = None
+                    if echo is not None:
+                        stats.duplicates_dropped += 1
+                        self._m_dup_dropped.inc()
+            if state.report is not None:
+                reports.append(state.report)
+            elif state.failure is not None:
+                failures.append(state.failure)
+        return reports, failures
+
+    def _note_retry(self, state: _ShardState, error: str,
+                    stats: SupervisorStats) -> None:
+        """Serial-path failure bookkeeping: breaker + retry intent.
+
+        Serial execution has no event loop to wait on, so the retry
+        *delay* is skipped — only the schedule's accounting is
+        exercised; counts and outcomes match the process path."""
+        state.breaker.record_failure(_time.monotonic())
+        state.exhausted_error = error
+        stats.retries_scheduled += 1
+        self._m_retries.inc()
+
+    # ------------------------------------------------------------------
+    # process backend
+    # ------------------------------------------------------------------
+
+    def _run_process(self, shard_specs, workers, faults, seed, ckpt_dir,
+                     stats):
+        policy = self.policy
+        for shard in shard_specs:
+            ensure_picklable(shard,
+                             f"ShardSpec(shard_id={shard.shard_id})")
+        states = {
+            shard.shard_id: _ShardState(shard, self._breaker(shard.shard_id))
+            for shard in shard_specs
+        }
+        inflight: dict = {}  # future -> _Flight
+        pool = ProcessPoolExecutor(max_workers=workers)
+
+        def _now() -> float:
+            return _time.monotonic()
+
+        def _submit(state: _ShardState, hedge: bool = False,
+                    duplicate: bool = False,
+                    attempt: int | None = None) -> None:
+            nonlocal pool
+            if attempt is None:
+                attempt = state.attempts
+                state.attempts += 1
+            job = ShardJob(
+                shard=state.spec, attempt=attempt, seed=seed,
+                faults=faults, checkpoint_dir=ckpt_dir,
+                hard_crash_ok=True, hedge=hedge,
+            )
+            stats.attempts_total += 1
+            flight = _Flight(state.spec.shard_id, attempt, _now(),
+                             hedge=hedge, duplicate=duplicate)
+            try:
+                future = pool.submit(run_shard_job, job)
+            except BrokenExecutor:
+                # Break discovered at submit time: rebuild and retry
+                # this one submission on the fresh pool.
+                _terminate_pool(pool)
+                pool = ProcessPoolExecutor(max_workers=workers)
+                stats.pool_rebuilds += 1
+                self._m_rebuilds.inc()
+                future = pool.submit(run_shard_job, job)
+            inflight[future] = flight
+            state.inflight += 1
+
+        def _finalize_failure(state: _ShardState, error: str,
+                              quarantined: bool = False) -> None:
+            state.failure = ShardFailure(
+                shard_id=state.spec.shard_id, error=error,
+                attempts=state.attempts, quarantined=quarantined,
+            )
+            if quarantined:
+                stats.shards_quarantined += 1
+                self._m_quarantined.inc()
+
+        def _handle_failure(state: _ShardState, error: str,
+                            kind: str) -> None:
+            """One attempt died; decide retry / quarantine / give up."""
+            now = _now()
+            state.breaker.record_failure(now)
+            if state.resolved:
+                return
+            with obs.span("fleet.supervisor.recover",
+                          shard=state.spec.shard_id, kind=kind):
+                if not state.breaker.allow(now):
+                    _finalize_failure(
+                        state,
+                        f"quarantined after "
+                        f"{state.breaker.consecutive_failures} consecutive "
+                        f"failures (last: {error})",
+                        quarantined=True,
+                    )
+                    return
+                if state.attempts >= policy.max_attempts:
+                    state.exhausted_error = error
+                    if state.inflight == 0 and state.ready_at is None:
+                        _finalize_failure(
+                            state, f"attempt budget exhausted ({error})")
+                    return
+                if state.ready_at is not None or state.inflight > 0:
+                    # A retry is already queued, or a sibling attempt
+                    # (hedge) is still racing — no extra submission.
+                    return
+                if state.schedule is None:
+                    state.schedule = policy.retry_policy.schedule(now)
+                retry_at = state.schedule.next_retry(now)
+                if retry_at is None:
+                    _finalize_failure(
+                        state, f"retry deadline exhausted ({error})")
+                    return
+                state.ready_at = retry_at
+                stats.retries_scheduled += 1
+                self._m_retries.inc()
+
+        def _accept(state: _ShardState, flight: _Flight,
+                    result: ShardReport) -> None:
+            state.report = result
+            state.breaker.record_success(_now())
+            stats.rooms_resumed += result.rooms_resumed
+            self._m_resumed.inc(result.rooms_resumed)
+            decision = shard_fault_decision(
+                faults, seed, state.spec.shard_id, flight.attempt)
+            if decision.duplicate and not flight.duplicate:
+                # Redeliver the same attempt once; dedup must drop it.
+                stats.duplicates_injected += 1
+                _submit(state, duplicate=True, attempt=flight.attempt)
+
+        def _drop_stale(flight: _Flight) -> None:
+            if flight.hedge:
+                stats.hedges_wasted += 1
+                self._m_hedges_wasted.inc()
+            elif flight.duplicate:
+                stats.duplicates_dropped += 1
+                self._m_dup_dropped.inc()
+            else:
+                stats.late_results_dropped += 1
+
+        def _kill_and_requeue_innocents(expired_ids: set[int]) -> None:
+            """The pool is about to die (hung worker / break): refund
+            every innocent in-flight attempt and line it up again."""
+            nonlocal pool
+            for future, flight in list(inflight.items()):
+                state = states[flight.shard_id]
+                state.inflight -= 1
+                if flight.shard_id in expired_ids or state.resolved:
+                    continue
+                if flight.duplicate:
+                    stats.duplicates_dropped += 1
+                    self._m_dup_dropped.inc()
+                    continue
+                state.attempts -= 1  # refund: casualty, not offender
+                stats.attempts_total -= 1
+                if state.ready_at is None:
+                    state.ready_at = _now()
+            inflight.clear()
+            _terminate_pool(pool)
+            pool = ProcessPoolExecutor(max_workers=workers)
+            stats.pool_rebuilds += 1
+            self._m_rebuilds.inc()
+
+        try:
+            while not all(state.resolved for state in states.values()):
+                now = _now()
+                # -- submissions whose time has come -------------------
+                for state in states.values():
+                    if state.resolved or state.ready_at is None:
+                        continue
+                    if state.ready_at <= now:
+                        state.ready_at = None
+                        _submit(state)
+                # -- stall guard (should be unreachable) ---------------
+                if not inflight and not any(
+                        state.ready_at is not None for state in
+                        states.values() if not state.resolved):
+                    for state in states.values():
+                        if not state.resolved:
+                            _finalize_failure(
+                                state,
+                                state.exhausted_error
+                                or "supervisor stalled with no live "
+                                   "attempt",
+                            )
+                    break
+                # -- how long may we sleep? ----------------------------
+                wake_at = now + policy.poll_interval_s
+                for state in states.values():
+                    if not state.resolved and state.ready_at is not None:
+                        wake_at = min(wake_at, state.ready_at)
+                if policy.hedge_after_s is not None:
+                    for flight in inflight.values():
+                        if not flight.hedged:
+                            wake_at = min(
+                                wake_at,
+                                flight.submitted_at + policy.hedge_after_s,
+                            )
+                if policy.shard_deadline_s is not None:
+                    for flight in inflight.values():
+                        wake_at = min(
+                            wake_at,
+                            flight.submitted_at + policy.shard_deadline_s,
+                        )
+                timeout = max(wake_at - now, 0.0)
+                if inflight:
+                    done, _ = wait(inflight, timeout=timeout,
+                                   return_when=FIRST_COMPLETED)
+                else:
+                    _time.sleep(timeout)
+                    done = ()
+                # -- completions ---------------------------------------
+                broken = False
+                for future in done:
+                    flight = inflight.pop(future)
+                    state = states[flight.shard_id]
+                    state.inflight -= 1
+                    error = future.exception()
+                    if error is not None and isinstance(error,
+                                                        BrokenExecutor):
+                        broken = True
+                        if not state.resolved and not flight.duplicate:
+                            stats.crashes_detected += 1
+                            self._m_crashes.inc()
+                            _handle_failure(state, repr(error), "crash")
+                        elif flight.duplicate:
+                            stats.duplicates_dropped += 1
+                            self._m_dup_dropped.inc()
+                        continue
+                    if error is not None:
+                        if state.resolved or flight.duplicate:
+                            _drop_stale(flight)
+                            continue
+                        stats.crashes_detected += 1
+                        self._m_crashes.inc()
+                        _handle_failure(state, repr(error), "crash")
+                        continue
+                    result = future.result()
+                    if state.resolved:
+                        _drop_stale(flight)
+                        continue
+                    invalid = validate_shard_report(result, state.spec)
+                    if invalid is not None:
+                        if flight.duplicate:
+                            _drop_stale(flight)
+                            continue
+                        stats.poisoned_reports += 1
+                        self._m_poisoned.inc()
+                        _handle_failure(state, invalid, "poison")
+                        continue
+                    if flight.duplicate:
+                        # The injected redelivery of an already-merged
+                        # result: dedup drops it, counted.
+                        stats.duplicates_dropped += 1
+                        self._m_dup_dropped.inc()
+                        continue
+                    _accept(state, flight, result)
+                if broken:
+                    _kill_and_requeue_innocents(set())
+                    continue
+                # -- straggler detection / hedging ---------------------
+                if policy.hedge_after_s is not None:
+                    now = _now()
+                    for future, flight in list(inflight.items()):
+                        state = states[flight.shard_id]
+                        if (state.resolved or flight.hedged
+                                or flight.duplicate
+                                or state.inflight != 1
+                                or state.hedges
+                                >= policy.max_hedges_per_shard
+                                or state.attempts >= policy.max_attempts):
+                            continue
+                        if now - flight.submitted_at >= policy.hedge_after_s:
+                            flight.hedged = True
+                            state.hedges += 1
+                            stats.stragglers_hedged += 1
+                            self._m_hedged.inc()
+                            _submit(state, hedge=True)
+                # -- hard deadlines ------------------------------------
+                if policy.shard_deadline_s is not None and inflight:
+                    now = _now()
+                    expired = [
+                        (future, flight)
+                        for future, flight in inflight.items()
+                        if now - flight.submitted_at
+                        >= policy.shard_deadline_s and not future.done()
+                    ]
+                    if expired:
+                        expired_ids = set()
+                        for future, flight in expired:
+                            inflight.pop(future)
+                            state = states[flight.shard_id]
+                            state.inflight -= 1
+                            expired_ids.add(flight.shard_id)
+                            stats.deadline_kills += 1
+                            self._m_deadline_kills.inc()
+                            if not state.resolved and not flight.duplicate:
+                                _handle_failure(
+                                    state,
+                                    f"attempt exceeded "
+                                    f"{policy.shard_deadline_s:.3f} s "
+                                    f"deadline (worker killed)",
+                                    "deadline",
+                                )
+                        _kill_and_requeue_innocents(expired_ids)
+        finally:
+            # Hedge losers / duplicates may still be in flight; they
+            # will never be used — count and kill them.
+            for flight in inflight.values():
+                _drop_stale(flight)
+            _terminate_pool(pool)
+        reports = [state.report for state in states.values()
+                   if state.report is not None]
+        failures = [state.failure for state in states.values()
+                    if state.failure is not None]
+        return reports, failures
+
+
+def run_fleet_supervised(
+    spec: FleetSpec,
+    num_shards: int = 1,
+    backend: str = "process",
+    workers: int | None = None,
+    faults: ProcessFaultPlan | None = None,
+    policy: SupervisorPolicy | None = None,
+    checkpoint_dir: str | None = None,
+    seed: int | None = None,
+) -> FleetReport:
+    """One-call supervised fleet execution (see :class:`FleetSupervisor`)."""
+    supervisor = FleetSupervisor(policy=policy,
+                                 checkpoint_dir=checkpoint_dir)
+    return supervisor.run(spec, num_shards=num_shards, backend=backend,
+                          workers=workers, faults=faults, seed=seed)
+
+
+__all__ = [
+    "FleetSupervisor",
+    "SupervisorPolicy",
+    "SupervisorStats",
+    "run_fleet_supervised",
+    "validate_shard_report",
+]

@@ -1,5 +1,9 @@
 """Dispatch guardrails: admission pacing, breaker, retries, pickling."""
 
+import functools
+import os
+import time
+
 import pytest
 
 from repro.fleet import (
@@ -132,3 +136,90 @@ def test_constructor_validation():
     dispatcher = FleetDispatcher()
     with pytest.raises(ValueError, match="workers"):
         dispatcher.run(SHARDS, _stub_runner, workers=0)
+    with pytest.raises(ValueError, match="shard_timeout"):
+        dispatcher.run(SHARDS, _stub_runner, workers=1, shard_timeout=0.0)
+
+
+# ----------------------------------------------------------------------
+# process-level failure shapes (real pool, module-level workers)
+# ----------------------------------------------------------------------
+
+def _exit_once_runner(flag_dir: str, shard: ShardSpec) -> str:
+    """Kills its worker with ``os._exit`` the first time shard 0 runs —
+    the ungraceful death (OOM-kill, segfault) that breaks the whole
+    ``ProcessPoolExecutor``, not just one future."""
+    flag = os.path.join(flag_dir, f"died-{shard.shard_id}")
+    if shard.shard_id == 0 and not os.path.exists(flag):
+        open(flag, "w").close()
+        os._exit(11)
+    return f"report-{shard.shard_id}"
+
+
+def _hang_once_runner(flag_dir: str, shard: ShardSpec) -> str:
+    """Wedges (sleeps far past any test deadline) the first time
+    shard 0 runs — the hung-worker shape only a timeout can evict."""
+    flag = os.path.join(flag_dir, f"hung-{shard.shard_id}")
+    if shard.shard_id == 0 and not os.path.exists(flag):
+        open(flag, "w").close()
+        time.sleep(300.0)
+    return f"report-{shard.shard_id}"
+
+
+def test_broken_pool_becomes_counted_retry_and_one_rebuild(tmp_path):
+    # Regression pin: a worker calling os._exit used to surface as an
+    # uncaught BrokenProcessPool from wait(); now it is a failed
+    # attempt (retried) plus exactly one pool rebuild per break.
+    dispatcher = FleetDispatcher(
+        breaker=CircuitBreaker("test.pool3", failure_threshold=10,
+                               recovery_timeout=60.0),
+        max_attempts=2,
+    )
+    runner = functools.partial(_exit_once_runner, str(tmp_path))
+    reports, failures = dispatcher.run(SHARDS, runner, workers=2)
+    assert sorted(reports) == [f"report-{i}" for i in range(4)]
+    assert not failures
+    assert dispatcher._m_rebuilds.value >= 1
+
+
+def _exit_always_runner(shard: ShardSpec) -> str:
+    if shard.shard_id == 0:
+        os._exit(11)
+    return f"report-{shard.shard_id}"
+
+
+def test_broken_pool_exhausting_attempts_is_a_counted_failure():
+    # A shard whose *every* attempt kills its worker must end as a
+    # counted ShardFailure, never a crashed or hung run.
+    dispatcher = FleetDispatcher(
+        breaker=CircuitBreaker("test.pool4", failure_threshold=10,
+                               recovery_timeout=60.0),
+        max_attempts=2,
+    )
+    reports, failures = dispatcher.run(
+        SHARDS, _exit_always_runner, workers=2)
+    assert sorted(reports) == [f"report-{i}" for i in range(1, 4)]
+    assert [f.shard_id for f in failures] == [0]
+    assert failures[0].attempts == 2
+    assert "BrokenProcessPool" in failures[0].error or "broken" in \
+        failures[0].error.lower()
+
+
+def test_hung_worker_is_timed_out_killed_and_retried(tmp_path):
+    # Without shard_timeout this run would block forever on wait();
+    # with it, the wedged worker is killed, counted, and the shard's
+    # retry (which does not hang) completes the run.
+    dispatcher = FleetDispatcher(
+        breaker=CircuitBreaker("test.pool5", failure_threshold=10,
+                               recovery_timeout=60.0),
+        max_attempts=2,
+    )
+    runner = functools.partial(_hang_once_runner, str(tmp_path))
+    start = time.monotonic()
+    reports, failures = dispatcher.run(
+        SHARDS, runner, workers=2, shard_timeout=1.0)
+    wall = time.monotonic() - start
+    assert sorted(reports) == [f"report-{i}" for i in range(4)]
+    assert not failures
+    assert dispatcher._m_timed_out.value == 1
+    assert dispatcher._m_rebuilds.value >= 1
+    assert wall < 60.0  # evicted the hang, did not sit out the sleep
